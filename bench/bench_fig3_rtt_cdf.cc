@@ -1,0 +1,68 @@
+// Reproduces paper Fig 3: CDF of the number of RTTs needed to transfer
+// files drawn from the Fig 2 size distribution, for initial congestion
+// windows of 10, 25, 50 and 100 (no loss, no delay — the §II-B model).
+//
+// Paper shape: IW50 moves >31% more files into single-RTT completion than
+// IW10; IW100 leaves only ~15% needing more than one RTT.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "cdn/file_size_dist.h"
+#include "model/transfer_model.h"
+#include "sim/random.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace riptide;
+
+  cdn::FileSizeDistribution dist;
+  sim::Rng rng(2016);
+  const int n = 500'000;
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(n);
+  for (int i = 0; i < n; ++i) sizes.push_back(dist.sample(rng));
+
+  const std::vector<std::uint32_t> windows = {10, 25, 50, 100};
+  std::printf("Fig 3: CDF of RTTs to complete transfer, by initcwnd\n");
+  bench::print_rule();
+  std::printf("%8s", "RTTs");
+  for (auto iw : windows) std::printf("     iw=%-3u", iw);
+  std::printf("\n");
+
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> counts;  // iw -> rtts -> n
+  for (auto iw : windows) {
+    model::ModelParams params{1460, iw};
+    for (auto size : sizes) {
+      ++counts[iw][model::rtts_for_transfer(size, params)];
+    }
+  }
+
+  for (std::uint32_t rtts = 1; rtts <= 8; ++rtts) {
+    std::printf("%8u", rtts);
+    for (auto iw : windows) {
+      int cum = 0;
+      for (const auto& [r, c] : counts[iw]) {
+        if (r <= rtts) cum += c;
+      }
+      std::printf("  %8.3f ", static_cast<double>(cum) / n);
+    }
+    std::printf("\n");
+  }
+
+  bench::print_rule();
+  auto one_rtt = [&](std::uint32_t iw) {
+    int cum = 0;
+    for (const auto& [r, c] : counts[iw]) {
+      if (r <= 1) cum += c;
+    }
+    return static_cast<double>(cum) / n;
+  };
+  std::printf("files completing in 1 RTT:  iw10=%.3f  iw50=%.3f  "
+              "(paper: +31%% more at iw50)  iw100=%.3f (paper: all but ~15%%)\n",
+              one_rtt(10), one_rtt(50), one_rtt(100));
+  std::printf("gain iw10 -> iw50 at 1 RTT: +%.1f%%\n",
+              (one_rtt(50) - one_rtt(10)) * 100.0);
+  return 0;
+}

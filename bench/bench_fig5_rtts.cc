@@ -1,0 +1,43 @@
+// Reproduces paper Table II (PoP count per continent) and Fig 5 (the CDF
+// of RTTs between globally deployed datacenters; the paper reports a
+// median above 125 ms).
+
+#include <cstdio>
+
+#include "cdn/pops.h"
+#include "cdn/topology.h"
+#include "sim/simulator.h"
+#include "stats/cdf.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace riptide;
+
+  std::printf("Table II: CDN PoPs with Riptide deployed\n");
+  bench::print_rule('-', 40);
+  for (const auto& [continent, count] :
+       cdn::continent_summary(cdn::default_pop_specs())) {
+    std::printf("%-16s %3d\n", cdn::to_string(continent), count);
+  }
+  std::printf("%-16s %3zu\n", "Total", cdn::default_pop_specs().size());
+
+  sim::Simulator sim;
+  cdn::Topology topo(sim, cdn::TopologyConfig{});
+  stats::Cdf rtts;
+  for (std::size_t a = 0; a < topo.pop_count(); ++a) {
+    for (std::size_t b = a + 1; b < topo.pop_count(); ++b) {
+      rtts.add(topo.base_rtt(a, b).to_milliseconds());
+    }
+  }
+
+  std::printf("\nFig 5: RTT between deployed datacenters (all PoP pairs)\n");
+  bench::print_rule();
+  std::printf("%12s  %10s\n", "percentile", "RTT (ms)");
+  for (double p : {5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    std::printf("%11.0f%%  %10.1f\n", p, rtts.percentile(p));
+  }
+  bench::print_rule();
+  std::printf("median RTT: %.1f ms (paper: >125 ms)\n", rtts.percentile(50));
+  std::printf("pairs measured: %zu\n", rtts.count());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces paper Fig 6: the distribution of total transfer time for a
+// 100 KB file under initcwnd 10/25/50/100, applying the §II-B transfer
+// model to the inter-PoP RTT distribution of Fig 5.
+//
+// Paper shape: at the median the IW10 case is ~280 ms slower than IW100;
+// at the 90th percentile the difference is ~290 ms (~100%).
+
+#include <cstdio>
+#include <vector>
+
+#include "cdn/topology.h"
+#include "model/transfer_model.h"
+#include "sim/simulator.h"
+#include "stats/cdf.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace riptide;
+
+  sim::Simulator sim;
+  cdn::Topology topo(sim, cdn::TopologyConfig{});
+  std::vector<sim::Time> rtts;
+  for (std::size_t a = 0; a < topo.pop_count(); ++a) {
+    for (std::size_t b = 0; b < topo.pop_count(); ++b) {
+      if (a != b) rtts.push_back(topo.base_rtt(a, b));
+    }
+  }
+
+  const std::uint64_t size = 100'000;
+  const std::vector<std::uint32_t> windows = {10, 25, 50, 100};
+  const std::vector<double> percentiles = {10, 25, 50, 75, 90, 99};
+
+  std::printf("Fig 6: total transfer time for a 100 KB file (model x Fig 5 "
+              "RTTs), ms\n");
+  bench::print_rule();
+  bench::print_percentile_header("initcwnd", percentiles);
+
+  std::vector<stats::Cdf> cdfs(windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    model::ModelParams params{1460, windows[i]};
+    for (const auto rtt : rtts) {
+      cdfs[i].add(
+          model::transfer_time(size, params, rtt).to_milliseconds());
+    }
+    bench::print_cdf_row("iw=" + std::to_string(windows[i]), cdfs[i],
+                         percentiles);
+  }
+
+  bench::print_rule();
+  std::printf("median penalty of iw10 vs iw100: %.0f ms (paper: ~280 ms)\n",
+              cdfs[0].percentile(50) - cdfs[3].percentile(50));
+  std::printf("p90 penalty of iw10 vs iw100: %.0f ms, +%.0f%% (paper: "
+              "~290 ms, ~100%%)\n",
+              cdfs[0].percentile(90) - cdfs[3].percentile(90),
+              (cdfs[0].percentile(90) / cdfs[3].percentile(90) - 1.0) * 100.0);
+  return 0;
+}

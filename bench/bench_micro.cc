@@ -1,0 +1,128 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator
+// and the Riptide agent: event-queue throughput, longest-prefix-match
+// lookups, the agent's poll loop against a host with many connections, and
+// quantile extraction used by the analysis pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/agent.h"
+#include "host/routing_table.h"
+#include "model/transfer_model.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "stats/cdf.h"
+#include "stats/ewma.h"
+#include "tcp/connection.h"
+
+namespace {
+
+using namespace riptide;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule(sim::Time::microseconds(i % 1000), [&sum] { ++sum; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_RoutingTableLookup(benchmark::State& state) {
+  const int routes = static_cast<int>(state.range(0));
+  host::RoutingTable table;
+  net::Router sink("sink");
+  for (int i = 0; i < routes; ++i) {
+    table.add_or_replace(
+        net::Prefix(net::Ipv4Address(10, static_cast<std::uint8_t>(i % 200),
+                                     static_cast<std::uint8_t>(i / 200), 0),
+                    24),
+        sink, host::RouteMetrics{50, 100});
+  }
+  table.add_or_replace(net::Prefix(net::Ipv4Address(0), 0), sink);
+  std::uint32_t x = 1;
+  for (auto _ : state) {
+    x = x * 1664525u + 1013904223u;
+    benchmark::DoNotOptimize(table.lookup(net::Ipv4Address(x)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingTableLookup)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_EwmaUpdate(benchmark::State& state) {
+  stats::Ewma ewma(0.5);
+  double v = 10.0;
+  for (auto _ : state) {
+    v = v * 1.01;
+    if (v > 100) v = 10;
+    benchmark::DoNotOptimize(ewma.update(v));
+  }
+}
+BENCHMARK(BM_EwmaUpdate);
+
+void BM_CdfQuantile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    stats::Cdf cdf;
+    for (int i = 0; i < n; ++i) cdf.add(rng.uniform(0, 1000));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cdf.percentile(50));
+    benchmark::DoNotOptimize(cdf.percentile(99));
+  }
+}
+BENCHMARK(BM_CdfQuantile)->Arg(1000)->Arg(100000);
+
+void BM_TransferModel(benchmark::State& state) {
+  std::uint64_t size = 1000;
+  for (auto _ : state) {
+    size = (size * 7919) % 10'000'000 + 100;
+    benchmark::DoNotOptimize(
+        model::rtts_for_transfer(size, model::ModelParams{1460, 10}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransferModel);
+
+// The agent's full Algorithm-1 iteration against a host carrying many
+// established connections — the per-i_u cost the paper's §V "Overhead"
+// discusses.
+void BM_AgentPoll(benchmark::State& state) {
+  const int conns = static_cast<int>(state.range(0));
+
+  sim::Simulator sim;
+  host::Host a(sim, "a", net::Ipv4Address(10, 0, 0, 1));
+  host::Host b(sim, "b", net::Ipv4Address(10, 0, 1, 1));
+  sim::Rng rng(1);
+  net::Link ab(sim, {1e10, sim::Time::microseconds(100), 1 << 16, 0, "ab"}, b,
+               &rng);
+  net::Link ba(sim, {1e10, sim::Time::microseconds(100), 1 << 16, 0, "ba"}, a,
+               &rng);
+  a.attach_uplink(ab);
+  b.attach_uplink(ba);
+  b.listen(80, [](tcp::TcpConnection&) {});
+  for (int i = 0; i < conns; ++i) {
+    a.connect(b.address(), 80, {});
+  }
+  sim.run_until(sim::Time::seconds(2));
+
+  core::RiptideConfig config;
+  core::RiptideAgent agent(sim, a, config);
+  for (auto _ : state) {
+    agent.poll_once();
+  }
+  state.SetItemsProcessed(state.iterations() * conns);
+}
+BENCHMARK(BM_AgentPoll)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cdn/experiment.h"
+#include "stats/cdf.h"
+
+namespace riptide::bench {
+
+// Prints a CDF as "value @ percentile" rows at the given percentiles.
+inline void print_cdf_row(const std::string& label, const stats::Cdf& cdf,
+                          const std::vector<double>& percentiles) {
+  std::printf("%-28s", label.c_str());
+  if (cdf.empty()) {
+    std::printf("  (no samples)\n");
+    return;
+  }
+  for (double p : percentiles) {
+    std::printf("  %9.1f", cdf.percentile(p));
+  }
+  std::printf("  (n=%zu)\n", cdf.count());
+}
+
+inline void print_percentile_header(const std::string& first_col,
+                                    const std::vector<double>& percentiles) {
+  std::printf("%-28s", first_col.c_str());
+  for (double p : percentiles) {
+    std::printf("  %8.0fth", p);
+  }
+  std::printf("\n");
+}
+
+inline void print_rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+// The standard scaled-down experiment world shared by the simulation
+// benches: the paper's full 34-PoP roster, one host per PoP, and a probe
+// mesh at seconds (rather than hourly) cadence. The measurement window is
+// minutes of simulated time instead of the paper's 12-20 hours; all of the
+// measured quantities are distributional, so the window only controls
+// sample count.
+inline cdn::ExperimentConfig paper_world(bool riptide_enabled,
+                                         std::uint64_t seed = 1) {
+  cdn::ExperimentConfig config;
+  config.topology.hosts_per_pop = 1;
+  // Cross-traffic-induced residual loss on WAN segments, calibrated so
+  // congestion bounds natural window growth the way the paper's production
+  // network does (this is what produces Fig 10's diminishing returns past
+  // c_max = 100).
+  config.topology.wan_loss_probability = 1e-3;
+  config.riptide_enabled = riptide_enabled;
+  config.riptide.update_interval = sim::Time::seconds(1);  // i_u of §IV-A
+  config.riptide.ttl = sim::Time::seconds(90);             // t of §III-B
+  config.riptide.c_max = 100;                              // Fig 10 knee
+  config.probe.interval = sim::Time::seconds(5);
+  config.probe.idle_close = sim::Time::seconds(12);
+  // CDN-standard host tuning: keep grown windows across idle periods
+  // (tcp_slow_start_after_idle=0), so reused probe connections run at
+  // their grown windows in both the control and the treatment — the
+  // production behaviour behind the paper's flat low percentiles in
+  // Figs 15/16.
+  config.topology.host_tcp.slow_start_after_idle = false;
+  config.duration = sim::Time::minutes(3);
+  config.cwnd_sample_interval = sim::Time::seconds(15);
+  config.seed = seed;
+  return config;
+}
+
+inline int find_pop(const std::vector<cdn::PopSpec>& specs,
+                    const std::string& name) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace riptide::bench

@@ -1,0 +1,86 @@
+// CDN probe mesh: the paper's evaluation workload (§IV-A) in miniature.
+//
+// Builds a six-PoP slice of the global topology, runs the 10/50/100 KB
+// diagnostic probe mesh with Riptide agents on every host, and prints the
+// probe completion times by destination distance — first for a control run
+// without Riptide, then with it. The stair-step gains on 50/100 KB probes
+// toward far destinations are the paper's Figs 13-14 in table form.
+//
+// Build & run:  ./build/examples/cdn_probes
+
+#include <cstdio>
+#include <vector>
+
+#include "cdn/experiment.h"
+#include "cdn/pops.h"
+
+using namespace riptide;
+using sim::Time;
+
+namespace {
+
+std::vector<cdn::PopSpec> six_pops() {
+  return {{"lon", cdn::Continent::kEurope, {51.51, -0.13}},
+          {"fra", cdn::Continent::kEurope, {50.11, 8.68}},
+          {"nyc", cdn::Continent::kNorthAmerica, {40.71, -74.01}},
+          {"lax", cdn::Continent::kNorthAmerica, {34.05, -118.24}},
+          {"sin", cdn::Continent::kAsia, {1.35, 103.82}},
+          {"syd", cdn::Continent::kOceania, {-33.87, 151.21}}};
+}
+
+cdn::ExperimentConfig make_config(bool riptide) {
+  cdn::ExperimentConfig config;
+  config.pop_specs = six_pops();
+  config.topology.hosts_per_pop = 2;
+  config.riptide_enabled = riptide;
+  config.probe.interval = Time::seconds(5);
+  config.duration = Time::minutes(3);
+  config.seed = 42;
+  return config;
+}
+
+void report(const char* title, cdn::Experiment& exp) {
+  std::printf("%s\n", title);
+  std::printf("  %-6s %-10s %12s %12s %12s\n", "dst", "base RTT", "10KB p50",
+              "50KB p50", "100KB p50");
+  const int src = 0;  // lon
+  for (std::size_t dst = 1; dst < exp.topology().pop_count(); ++dst) {
+    std::printf("  %-6s %7.0fms",
+                exp.topology().pops()[dst].spec.name.c_str(),
+                exp.topology().base_rtt(src, dst).to_milliseconds());
+    for (std::uint64_t size : {10'000u, 50'000u, 100'000u}) {
+      const auto cdf =
+          exp.probe_cdf(src, size, static_cast<int>(dst), /*fresh=*/true);
+      if (cdf.empty()) {
+        std::printf(" %12s", "-");
+      } else {
+        std::printf(" %10.0fms", cdf.percentile(50));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  cdn::Experiment control(make_config(false));
+  control.run();
+  report("Default TCP (IW10), median fresh-connection probe times from lon:",
+         control);
+
+  cdn::Experiment treatment(make_config(true));
+  treatment.run();
+  report("\nWith Riptide (c_max=100), same probes:", treatment);
+
+  std::printf("\nLearned windows at lon's host 0 after the run:\n");
+  const auto& agent = *treatment.agents().front();
+  for (const auto& [dst, state] : agent.table().entries()) {
+    std::printf("  %-18s -> initcwnd %3.0f segments (updated %llu times)\n",
+                dst.to_string().c_str(), state.final_window_segments,
+                static_cast<unsigned long long>(state.updates));
+  }
+  std::printf("\nNote: 10 KB probes fit in IW10 and do not change; gains on "
+              "50/100 KB probes are whole RTTs and grow with distance.\n");
+  return 0;
+}

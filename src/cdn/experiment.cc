@@ -1,0 +1,127 @@
+#include "cdn/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace riptide::cdn {
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  build();
+}
+
+void Experiment::build() {
+  rng_ = std::make_unique<sim::Rng>(config_.seed);
+  topology_ = std::make_unique<Topology>(sim_, config_.topology,
+                                         config_.pop_specs);
+  Topology& topo = *topology_;
+  const std::size_t n = topo.pop_count();
+
+  // Probe + sink servers on every host: any PoP can be asked for an object.
+  for (host::Host* host : topo.all_hosts()) {
+    probe_servers_.push_back(std::make_unique<ProbeServer>(
+        *host, config_.probe.server_port, config_.probe.size_scale));
+    probe_servers_.back()->start();
+    sink_servers_.push_back(
+        std::make_unique<SinkServer>(*host, config_.organic.sink_port));
+    sink_servers_.back()->start();
+  }
+
+  // Probe clients on the configured source PoPs (default: all).
+  std::vector<std::size_t> sources = config_.probe_source_pops;
+  if (sources.empty()) {
+    sources.resize(n);
+    for (std::size_t i = 0; i < n; ++i) sources[i] = i;
+  }
+  const int hosts_per_pop = config_.topology.hosts_per_pop;
+  for (std::size_t src : sources) {
+    if (src >= n) throw std::invalid_argument("Experiment: bad source pop");
+    for (int h = 0; h < hosts_per_pop; ++h) {
+      std::vector<ProbeTarget> targets;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (dst == src) continue;
+        // Spread load across the destination PoP's hosts.
+        const int target_host = h % hosts_per_pop;
+        targets.push_back(ProbeTarget{
+            topo.host(dst, static_cast<std::size_t>(target_host)).address(),
+            static_cast<int>(dst),
+            topo.base_rtt(src, dst).to_milliseconds()});
+      }
+      probe_clients_.push_back(std::make_unique<ProbeClient>(
+          sim_, topo.host(src, static_cast<std::size_t>(h)),
+          static_cast<int>(src), std::move(targets), config_.probe, metrics_,
+          *rng_));
+      probe_clients_.back()->start();
+    }
+  }
+
+  // Organic traffic from the designated busy PoPs toward everyone else.
+  for (std::size_t src : config_.organic_source_pops) {
+    if (src >= n) throw std::invalid_argument("Experiment: bad organic pop");
+    for (int h = 0; h < hosts_per_pop; ++h) {
+      std::vector<net::Ipv4Address> targets;
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (dst == src) continue;
+        targets.push_back(
+            topo.host(dst, static_cast<std::size_t>(h % hosts_per_pop))
+                .address());
+      }
+      organic_sources_.push_back(std::make_unique<OrganicSource>(
+          sim_, topo.host(src, static_cast<std::size_t>(h)),
+          std::move(targets), config_.organic, *rng_));
+      organic_sources_.back()->start();
+    }
+  }
+
+  // One Riptide agent per host — fully distributed, no coordination.
+  if (config_.riptide_enabled) {
+    for (host::Host* host : topo.all_hosts()) {
+      agents_.push_back(std::make_unique<core::RiptideAgent>(
+          sim_, *host, config_.riptide));
+      agents_.back()->start();
+    }
+  }
+
+  // The `ss` window sampler (§IV-B1). All connections observed here were
+  // created after Riptide started (the agents start at t=0).
+  sim_.schedule_periodic(
+      config_.cwnd_sample_interval, config_.cwnd_sample_interval, [this] {
+        for (host::Host* host : topology_->all_hosts()) {
+          const int pop = topology_->pop_of(host->address());
+          for (const auto& info : host->socket_stats()) {
+            if (info.state != tcp::TcpState::kEstablished) continue;
+            if (info.bytes_acked < config_.min_bytes_for_cwnd_sample) continue;
+            metrics_.record_cwnd(
+                CwndSample{pop, info.cwnd_segments, sim_.now()});
+          }
+        }
+      });
+}
+
+void Experiment::run() { sim_.run_until(config_.duration); }
+
+stats::Cdf Experiment::probe_cdf(int src_pop, std::uint64_t object_bytes,
+                                 int dst_pop, bool fresh_only) const {
+  return metrics_.completion_cdf([=](const FlowRecord& flow) {
+    if (flow.src_pop != src_pop) return false;
+    if (flow.object_bytes != object_bytes) return false;
+    if (dst_pop >= 0 && flow.dst_pop != dst_pop) return false;
+    if (fresh_only && !flow.fresh) return false;
+    return true;
+  });
+}
+
+std::vector<PercentileGain> percentile_gains(const stats::Cdf& baseline,
+                                             const stats::Cdf& treatment,
+                                             double step) {
+  std::vector<PercentileGain> gains;
+  if (baseline.empty() || treatment.empty() || step <= 0.0) return gains;
+  for (double p = step; p < 100.0 - 1e-9; p += step) {
+    const double base = baseline.percentile(p);
+    const double treat = treatment.percentile(p);
+    const double gain = base > 0.0 ? (base - treat) / base : 0.0;
+    gains.push_back(PercentileGain{p, gain});
+  }
+  return gains;
+}
+
+}  // namespace riptide::cdn

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdn/metrics.h"
+#include "cdn/pops.h"
+#include "cdn/probe.h"
+#include "cdn/topology.h"
+#include "cdn/traffic.h"
+#include "core/agent.h"
+#include "core/config.h"
+#include "sim/simulator.h"
+#include "stats/cdf.h"
+
+namespace riptide::cdn {
+
+// A complete closed-loop scenario: the simulated CDN, probe mesh, optional
+// organic traffic, optional Riptide agents on every host, and the periodic
+// `ss` window sampler of §IV-B1. Running the same config with
+// riptide_enabled on/off produces the treatment/control pairs behind
+// Figures 10-16.
+struct ExperimentConfig {
+  std::vector<PopSpec> pop_specs = default_pop_specs();
+  TopologyConfig topology{};
+
+  bool riptide_enabled = true;
+  core::RiptideConfig riptide{};
+
+  ProbeClientConfig probe{};
+  // PoPs whose hosts issue probes; empty = all PoPs (the paper's mesh).
+  std::vector<std::size_t> probe_source_pops{};
+
+  // PoPs that additionally generate organic back-office traffic (Fig 11's
+  // "full traffic" PoP).
+  std::vector<std::size_t> organic_source_pops{};
+  OrganicSourceConfig organic{};
+
+  sim::Time duration = sim::Time::minutes(3);
+
+  // §IV-B1: windows of established connections sampled periodically (the
+  // paper samples each minute over 12 h; scaled-down runs sample faster).
+  sim::Time cwnd_sample_interval = sim::Time::seconds(15);
+  // Only connections that have actually moved data are sampled — parked
+  // request-only connections would otherwise swamp the distribution.
+  std::uint64_t min_bytes_for_cwnd_sample = 5000;
+
+  std::uint64_t seed = 1;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  // Runs the scenario for config.duration of simulated time.
+  void run();
+
+  const MetricsCollector& metrics() const { return metrics_; }
+  Topology& topology() { return *topology_; }
+  sim::Simulator& simulator() { return sim_; }
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<std::unique_ptr<core::RiptideAgent>>& agents() const {
+    return agents_;
+  }
+
+  // Completion-time CDF (ms) for probes of `object_bytes` from `src_pop`,
+  // optionally restricted to one destination PoP (dst_pop >= 0) and/or
+  // fresh connections only.
+  stats::Cdf probe_cdf(int src_pop, std::uint64_t object_bytes,
+                       int dst_pop = -1, bool fresh_only = false) const;
+
+ private:
+  void build();
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Rng> rng_;
+  std::unique_ptr<Topology> topology_;
+  MetricsCollector metrics_;
+  std::vector<std::unique_ptr<ProbeServer>> probe_servers_;
+  std::vector<std::unique_ptr<SinkServer>> sink_servers_;
+  std::vector<std::unique_ptr<ProbeClient>> probe_clients_;
+  std::vector<std::unique_ptr<OrganicSource>> organic_sources_;
+  std::vector<std::unique_ptr<core::RiptideAgent>> agents_;
+};
+
+// Percentile-by-percentile improvement of `treatment` over `baseline`
+// (paper Figs 15/16): for each percentile p in {step, 2*step, ...,
+// 100-step}, gain = (baseline_p - treatment_p) / baseline_p.
+struct PercentileGain {
+  double percentile = 0.0;
+  double gain_fraction = 0.0;
+};
+
+std::vector<PercentileGain> percentile_gains(const stats::Cdf& baseline,
+                                             const stats::Cdf& treatment,
+                                             double step = 5.0);
+
+}  // namespace riptide::cdn

@@ -1,0 +1,33 @@
+#include "cdn/file_size_dist.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace riptide::cdn {
+
+namespace {
+// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+}  // namespace
+
+std::uint64_t FileSizeDistribution::sample(sim::Rng& rng) const {
+  const bool small = rng.bernoulli(params_.weight_small);
+  const double value = small
+                           ? rng.lognormal(params_.mu_small, params_.sigma_small)
+                           : rng.lognormal(params_.mu_large, params_.sigma_large);
+  const auto bytes = static_cast<std::uint64_t>(value);
+  return std::clamp(bytes, params_.min_bytes, params_.max_bytes);
+}
+
+double FileSizeDistribution::cdf(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const double log_b = std::log(bytes);
+  const double c_small =
+      phi((log_b - params_.mu_small) / params_.sigma_small);
+  const double c_large =
+      phi((log_b - params_.mu_large) / params_.sigma_large);
+  return params_.weight_small * c_small +
+         (1.0 - params_.weight_small) * c_large;
+}
+
+}  // namespace riptide::cdn

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.h"
+
+namespace riptide::cdn {
+
+// Synthetic stand-in for the production CDN file-size distribution of
+// paper Fig 2. A two-component log-normal mixture calibrated so that ~54 %
+// of files exceed the 15 KB that fit in the default initial window of 10
+// segments (the paper's headline statistic for Fig 2), with a web-asset
+// body and a heavy media tail but few multi-megabyte objects (Fig 2 shows
+// large files "do not dominate the distribution").
+class FileSizeDistribution {
+ public:
+  struct Params {
+    // Component 1: small web assets.
+    double weight_small = 0.35;
+    double mu_small = 8.006;    // ln(3000 B)
+    double sigma_small = 1.0;
+    // Component 2: larger objects (images, segments of video, ...).
+    double mu_large = 11.002;   // ln(60000 B)
+    double sigma_large = 1.5;
+    std::uint64_t min_bytes = 200;
+    std::uint64_t max_bytes = 100ull * 1024 * 1024;
+  };
+
+  FileSizeDistribution() : FileSizeDistribution(Params{}) {}
+  explicit FileSizeDistribution(Params params) : params_(params) {}
+
+  std::uint64_t sample(sim::Rng& rng) const;
+
+  // Analytic CDF of the (unclamped) mixture: P(size <= bytes).
+  double cdf(double bytes) const;
+  double fraction_above(double bytes) const { return 1.0 - cdf(bytes); }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace riptide::cdn

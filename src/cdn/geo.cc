@@ -1,0 +1,32 @@
+#include "cdn/geo.h"
+
+#include <cmath>
+
+namespace riptide::cdn {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kFibreKmPerSecond = 2.0e5;  // ~2/3 c
+constexpr double kPi = 3.14159265358979323846;
+
+double radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = radians(a.latitude_deg);
+  const double lat2 = radians(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.longitude_deg - a.longitude_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+sim::Time propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                            double path_inflation) {
+  const double km = haversine_km(a, b) * path_inflation;
+  return sim::Time::from_seconds(km / kFibreKmPerSecond);
+}
+
+}  // namespace riptide::cdn

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "sim/time.h"
+
+namespace riptide::cdn {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+// Great-circle distance in kilometres.
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// One-way propagation delay between two points: great-circle distance,
+// inflated by `path_inflation` (real WAN routes are not geodesics; ~1.4 is
+// a common empirical factor), at the speed of light in fibre (~2e5 km/s).
+sim::Time propagation_delay(const GeoPoint& a, const GeoPoint& b,
+                            double path_inflation = 1.4);
+
+}  // namespace riptide::cdn

@@ -1,0 +1,61 @@
+#include "cdn/metrics.h"
+
+#include <ostream>
+
+namespace riptide::cdn {
+
+RttBucket bucket_for(double rtt_ms) {
+  if (rtt_ms < 50.0) return RttBucket::kClose;
+  if (rtt_ms < 100.0) return RttBucket::kMedium;
+  if (rtt_ms < 150.0) return RttBucket::kFar;
+  return RttBucket::kVeryFar;
+}
+
+const char* to_string(RttBucket bucket) {
+  switch (bucket) {
+    case RttBucket::kClose: return "<50ms";
+    case RttBucket::kMedium: return "50-100ms";
+    case RttBucket::kFar: return "100-150ms";
+    case RttBucket::kVeryFar: return ">150ms";
+  }
+  return "?";
+}
+
+stats::Cdf MetricsCollector::completion_cdf(
+    const std::function<bool(const FlowRecord&)>& predicate) const {
+  stats::Cdf cdf;
+  for (const auto& flow : flows_) {
+    if (predicate(flow)) cdf.add(flow.duration.to_milliseconds());
+  }
+  return cdf;
+}
+
+void MetricsCollector::write_flows_csv(std::ostream& os) const {
+  os << "started_ms,duration_ms,src_pop,dst_pop,object_bytes,fresh,"
+        "base_rtt_ms\n";
+  for (const auto& f : flows_) {
+    os << f.started.to_milliseconds() << ',' << f.duration.to_milliseconds()
+       << ',' << f.src_pop << ',' << f.dst_pop << ',' << f.object_bytes
+       << ',' << (f.fresh ? 1 : 0) << ',' << f.base_rtt_ms << '\n';
+  }
+}
+
+void MetricsCollector::write_cwnd_csv(std::ostream& os) const {
+  os << "at_ms,pop,cwnd_segments\n";
+  for (const auto& s : cwnd_samples_) {
+    os << s.at.to_milliseconds() << ',' << s.pop << ',' << s.cwnd_segments
+       << '\n';
+  }
+}
+
+stats::Cdf MetricsCollector::cwnd_cdf(int pop) const {
+  stats::Cdf cdf;
+  for (const auto& sample : cwnd_samples_) {
+    if (pop < 0 || sample.pop == pop) {
+      cdf.add(static_cast<double>(sample.cwnd_segments));
+    }
+  }
+  return cdf;
+}
+
+}  // namespace riptide::cdn

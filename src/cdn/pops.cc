@@ -1,0 +1,70 @@
+#include "cdn/pops.h"
+
+#include <map>
+
+namespace riptide::cdn {
+
+const char* to_string(Continent continent) {
+  switch (continent) {
+    case Continent::kEurope: return "Europe";
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kAsia: return "Asia";
+    case Continent::kOceania: return "Oceania";
+  }
+  return "?";
+}
+
+const std::vector<PopSpec>& default_pop_specs() {
+  static const std::vector<PopSpec> specs = {
+      // Europe (10)
+      {"lon", Continent::kEurope, {51.51, -0.13}},     // London
+      {"par", Continent::kEurope, {48.86, 2.35}},      // Paris
+      {"fra", Continent::kEurope, {50.11, 8.68}},      // Frankfurt
+      {"ams", Continent::kEurope, {52.37, 4.90}},      // Amsterdam
+      {"mad", Continent::kEurope, {40.42, -3.70}},     // Madrid
+      {"mil", Continent::kEurope, {45.46, 9.19}},      // Milan
+      {"sto", Continent::kEurope, {59.33, 18.07}},     // Stockholm
+      {"war", Continent::kEurope, {52.23, 21.01}},     // Warsaw
+      {"vie", Continent::kEurope, {48.21, 16.37}},     // Vienna
+      {"dub", Continent::kEurope, {53.35, -6.26}},     // Dublin
+      // North America (11)
+      {"nyc", Continent::kNorthAmerica, {40.71, -74.01}},   // New York
+      {"lax", Continent::kNorthAmerica, {34.05, -118.24}},  // Los Angeles
+      {"chi", Continent::kNorthAmerica, {41.88, -87.63}},   // Chicago
+      {"dal", Continent::kNorthAmerica, {32.78, -96.80}},   // Dallas
+      {"mia", Continent::kNorthAmerica, {25.76, -80.19}},   // Miami
+      {"sea", Continent::kNorthAmerica, {47.61, -122.33}},  // Seattle
+      {"sjc", Continent::kNorthAmerica, {37.34, -121.89}},  // San Jose
+      {"atl", Continent::kNorthAmerica, {33.75, -84.39}},   // Atlanta
+      {"tor", Continent::kNorthAmerica, {43.65, -79.38}},   // Toronto
+      {"den", Continent::kNorthAmerica, {39.74, -104.99}},  // Denver
+      {"iad", Continent::kNorthAmerica, {38.90, -77.04}},   // Washington DC
+      // South America (1)
+      {"sao", Continent::kSouthAmerica, {-23.55, -46.63}},  // Sao Paulo
+      // Asia (9)
+      {"tyo", Continent::kAsia, {35.68, 139.69}},   // Tokyo
+      {"sin", Continent::kAsia, {1.35, 103.82}},    // Singapore
+      {"hkg", Continent::kAsia, {22.32, 114.17}},   // Hong Kong
+      {"sel", Continent::kAsia, {37.57, 126.98}},   // Seoul
+      {"bom", Continent::kAsia, {19.08, 72.88}},    // Mumbai
+      {"osa", Continent::kAsia, {34.69, 135.50}},   // Osaka
+      {"tpe", Continent::kAsia, {25.03, 121.57}},   // Taipei
+      {"bkk", Continent::kAsia, {13.76, 100.50}},   // Bangkok
+      {"del", Continent::kAsia, {28.61, 77.21}},    // Delhi
+      // Oceania (3)
+      {"syd", Continent::kOceania, {-33.87, 151.21}},  // Sydney
+      {"mel", Continent::kOceania, {-37.81, 144.96}},  // Melbourne
+      {"akl", Continent::kOceania, {-36.85, 174.76}},  // Auckland
+  };
+  return specs;
+}
+
+std::vector<std::pair<Continent, int>> continent_summary(
+    const std::vector<PopSpec>& specs) {
+  std::map<Continent, int> counts;
+  for (const auto& spec : specs) ++counts[spec.continent];
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace riptide::cdn

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdn/geo.h"
+
+namespace riptide::cdn {
+
+enum class Continent {
+  kEurope,
+  kNorthAmerica,
+  kSouthAmerica,
+  kAsia,
+  kOceania,
+};
+
+const char* to_string(Continent continent);
+
+struct PopSpec {
+  std::string name;
+  Continent continent;
+  GeoPoint location;
+};
+
+// The 34-PoP roster matching Table II of the paper: 10 Europe, 11 North
+// America, 1 South America, 9 Asia, 3 Oceania. City placements are
+// representative of a global CDN footprint; the paper's map (Fig 9) is
+// approximate as well, and only the RTT *distribution* (Fig 5) matters to
+// the evaluation.
+const std::vector<PopSpec>& default_pop_specs();
+
+// Continent -> PoP count for a spec list (regenerates Table II).
+std::vector<std::pair<Continent, int>> continent_summary(
+    const std::vector<PopSpec>& specs);
+
+}  // namespace riptide::cdn

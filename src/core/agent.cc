@@ -1,0 +1,124 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "host/ss_format.h"
+
+namespace riptide::core {
+
+RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
+                           RiptideConfig config,
+                           std::unique_ptr<RouteProgrammer> programmer)
+    : sim_(sim),
+      host_(host),
+      config_(config),
+      programmer_(programmer ? std::move(programmer)
+                             : std::make_unique<HostRouteProgrammer>(host)),
+      combiner_(make_combiner(config.combiner)) {
+  if (config_.alpha < 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument("RiptideAgent: alpha outside [0, 1]");
+  }
+  if (config_.c_min == 0 || config_.c_min > config_.c_max) {
+    throw std::invalid_argument("RiptideAgent: need 0 < c_min <= c_max");
+  }
+  if (config_.granularity == Granularity::kPrefix &&
+      (config_.prefix_length < 1 || config_.prefix_length > 32)) {
+    throw std::invalid_argument("RiptideAgent: bad prefix_length");
+  }
+}
+
+void RiptideAgent::start() {
+  if (running_) return;
+  running_ = true;
+  poll_timer_ = sim_.schedule_periodic(config_.update_interval,
+                                       config_.update_interval,
+                                       [this] { poll_once(); });
+}
+
+void RiptideAgent::stop() {
+  running_ = false;
+  poll_timer_.cancel();
+}
+
+net::Prefix RiptideAgent::destination_key(net::Ipv4Address peer) const {
+  if (config_.granularity == Granularity::kHost) return net::Prefix::host(peer);
+  return net::Prefix(peer, config_.prefix_length);
+}
+
+double RiptideAgent::clamp_window(double value) const {
+  return std::clamp(value, static_cast<double>(config_.c_min),
+                    static_cast<double>(config_.c_max));
+}
+
+void RiptideAgent::poll_once() {
+  ++stats_.polls;
+  const sim::Time now = sim_.now();
+
+  // 1-2. Snapshot open connections, group by destination. Either read the
+  // in-memory table or go through the textual `ss` round-trip, exactly as
+  // the paper's user-space script does.
+  std::map<net::Prefix, std::vector<Observation>> groups;
+  if (config_.via_text_interface) {
+    const std::string text =
+        host::format_socket_stats(host_.socket_stats());
+    for (const auto& info : host::parse_socket_stats(text)) {
+      if (info.state != tcp::TcpState::kEstablished) continue;
+      ++stats_.connections_observed;
+      groups[destination_key(info.remote_addr)].push_back(Observation{
+          static_cast<double>(info.cwnd_segments), info.bytes_acked});
+    }
+  } else {
+    for (const auto& info : host_.socket_stats()) {
+      if (info.state != tcp::TcpState::kEstablished) continue;
+      ++stats_.connections_observed;
+      groups[destination_key(info.tuple.remote_addr)].push_back(
+          Observation{static_cast<double>(info.cwnd_segments),
+                      info.bytes_acked});
+    }
+  }
+
+  // 3-5. Combine, fold history, clamp, program.
+  for (const auto& [destination, observations] : groups) {
+    if (observations.size() < config_.min_samples) continue;
+    const double observed = combiner_->combine(observations);
+
+    // Trend guard (§V): a cliff-drop of the observation signals an
+    // incident — reset the learned window instead of gliding down.
+    const DestinationState* previous = table_.find(destination);
+    double final_window;
+    if (config_.trend_guard && previous != nullptr &&
+        observed < previous->final_window_segments *
+                       (1.0 - config_.trend_drop_fraction)) {
+      final_window = static_cast<double>(config_.c_min);
+      table_.fold(destination, observed, config_.alpha, now);  // refresh TTL
+      ++stats_.trend_resets;
+    } else {
+      final_window =
+          clamp_window(table_.fold(destination, observed, config_.alpha, now));
+    }
+    // Operator cap (§V): external signals bound how aggressive we may be.
+    if (window_cap_segments_ > 0) {
+      final_window = std::min(final_window,
+                              static_cast<double>(window_cap_segments_));
+    }
+    table_.store_final(destination, final_window, now);
+
+    const auto initcwnd =
+        static_cast<std::uint32_t>(std::lround(final_window));
+    const std::uint32_t initrwnd =
+        config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+    programmer_->set_initial_windows(destination, initcwnd, initrwnd);
+    ++stats_.routes_set;
+    ++stats_.destinations_updated;
+  }
+
+  // 6. Expire stale destinations, restoring default windows.
+  for (const auto& destination : table_.expire(now, config_.ttl)) {
+    programmer_->clear(destination);
+    ++stats_.routes_expired;
+  }
+}
+
+}  // namespace riptide::core

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/combiner.h"
+#include "core/config.h"
+#include "core/observed_table.h"
+#include "core/route_programmer.h"
+#include "host/host.h"
+#include "sim/simulator.h"
+
+namespace riptide::core {
+
+struct AgentStats {
+  std::uint64_t polls = 0;
+  std::uint64_t connections_observed = 0;
+  std::uint64_t destinations_updated = 0;
+  std::uint64_t routes_set = 0;
+  std::uint64_t routes_expired = 0;
+  std::uint64_t trend_resets = 0;  // trend-guard triggered (§V)
+};
+
+// The Riptide agent (paper Algorithm 1). Runs on one host, entirely from
+// "user space": every `update_interval` it
+//   1. snapshots the host's open connections (the `ss` poll),
+//   2. groups them by destination at the configured granularity,
+//   3. combines each group's congestion windows (average by default),
+//   4. folds the result into the per-destination EWMA history,
+//   5. clamps to [c_min, c_max] and programs the route's initcwnd
+//      (and initrwnd, §III-C),
+//   6. expires entries unseen for `ttl` and withdraws their routes,
+//      restoring the default initial window.
+//
+// No coordination with any other node, no kernel changes: the agent only
+// reads connection state and writes route metrics, matching the deployment
+// constraints of §II-A.
+class RiptideAgent {
+ public:
+  // If `programmer` is null, a HostRouteProgrammer on `host` is used.
+  RiptideAgent(sim::Simulator& sim, host::Host& host, RiptideConfig config,
+               std::unique_ptr<RouteProgrammer> programmer = nullptr);
+
+  // Begins periodic polling (first poll after one update_interval).
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // One Algorithm-1 iteration. Exposed so tests and tools can step the
+  // agent deterministically.
+  void poll_once();
+
+  // §V: operator hook for higher-level signals. A nonzero cap bounds every
+  // programmed window below `cap_segments` (e.g. a load balancer about to
+  // shift traffic onto this node's paths asks for conservative windows to
+  // "avoid sudden crowding"). Takes effect from the next poll; 0 clears.
+  void set_window_cap(std::uint32_t cap_segments) {
+    window_cap_segments_ = cap_segments;
+  }
+  std::uint32_t window_cap() const { return window_cap_segments_; }
+
+  // Destination key for a peer address at the configured granularity.
+  net::Prefix destination_key(net::Ipv4Address peer) const;
+
+  // Currently learned (clamped) window for a destination, if any.
+  const DestinationState* learned(const net::Prefix& destination) const {
+    return table_.find(destination);
+  }
+  const ObservedTable& table() const { return table_; }
+  const RiptideConfig& config() const { return config_; }
+  const AgentStats& stats() const { return stats_; }
+  host::Host& host() { return host_; }
+
+ private:
+  double clamp_window(double value) const;
+
+  sim::Simulator& sim_;
+  host::Host& host_;
+  RiptideConfig config_;
+  std::unique_ptr<RouteProgrammer> programmer_;
+  std::unique_ptr<Combiner> combiner_;
+  ObservedTable table_;
+  sim::EventHandle poll_timer_;
+  bool running_ = false;
+  std::uint32_t window_cap_segments_ = 0;
+  AgentStats stats_;
+};
+
+}  // namespace riptide::core

@@ -1,0 +1,57 @@
+#include "core/combiner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace riptide::core {
+
+double AverageCombiner::combine(
+    const std::vector<Observation>& observations) const {
+  if (observations.empty()) {
+    throw std::invalid_argument("AverageCombiner: empty observations");
+  }
+  double sum = 0.0;
+  for (const auto& obs : observations) sum += obs.cwnd_segments;
+  return sum / static_cast<double>(observations.size());
+}
+
+double MaxCombiner::combine(
+    const std::vector<Observation>& observations) const {
+  if (observations.empty()) {
+    throw std::invalid_argument("MaxCombiner: empty observations");
+  }
+  double best = observations.front().cwnd_segments;
+  for (const auto& obs : observations) best = std::max(best, obs.cwnd_segments);
+  return best;
+}
+
+double TrafficWeightedCombiner::combine(
+    const std::vector<Observation>& observations) const {
+  if (observations.empty()) {
+    throw std::invalid_argument("TrafficWeightedCombiner: empty observations");
+  }
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (const auto& obs : observations) {
+    // +1 keeps idle connections from having zero weight (and avoids a
+    // zero-division when nothing has transferred yet).
+    const double w = static_cast<double>(obs.bytes_acked) + 1.0;
+    weighted += obs.cwnd_segments * w;
+    total_weight += w;
+  }
+  return weighted / total_weight;
+}
+
+std::unique_ptr<Combiner> make_combiner(CombinerKind kind) {
+  switch (kind) {
+    case CombinerKind::kAverage:
+      return std::make_unique<AverageCombiner>();
+    case CombinerKind::kMax:
+      return std::make_unique<MaxCombiner>();
+    case CombinerKind::kTrafficWeighted:
+      return std::make_unique<TrafficWeightedCombiner>();
+  }
+  return std::make_unique<AverageCombiner>();
+}
+
+}  // namespace riptide::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+
+namespace riptide::core {
+
+// One polled connection toward a destination group.
+struct Observation {
+  double cwnd_segments = 0.0;
+  std::uint64_t bytes_acked = 0;  // lifetime bytes carried (from `ss`)
+};
+
+// Collapses the observations of one destination group into a single window
+// estimate in segments (§III-B "Combination Algorithm").
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  // Precondition: observations is non-empty.
+  virtual double combine(const std::vector<Observation>& observations) const = 0;
+  virtual const char* name() const = 0;
+};
+
+// Paper default: plain mean of the current windows.
+class AverageCombiner : public Combiner {
+ public:
+  double combine(const std::vector<Observation>& observations) const override;
+  const char* name() const override { return "average"; }
+};
+
+// Aggressive variant: the maximum observed window — "the most the link is
+// capable of handling".
+class MaxCombiner : public Combiner {
+ public:
+  double combine(const std::vector<Observation>& observations) const override;
+  const char* name() const override { return "max"; }
+};
+
+// Conservative variant: windows weighted by the traffic each connection has
+// carried, so barely-used connections (still parked at their initial
+// window) don't dominate the estimate.
+class TrafficWeightedCombiner : public Combiner {
+ public:
+  double combine(const std::vector<Observation>& observations) const override;
+  const char* name() const override { return "traffic-weighted"; }
+};
+
+std::unique_ptr<Combiner> make_combiner(CombinerKind kind);
+
+}  // namespace riptide::core

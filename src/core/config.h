@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace riptide::core {
+
+// How per-destination observations are collapsed into one window value
+// (paper §III-B "Combination Algorithm").
+enum class CombinerKind {
+  kAverage,          // paper default: mean of current windows
+  kMax,              // aggressive: the most the path has carried
+  kTrafficWeighted,  // conservative: weight windows by bytes transferred
+};
+
+// The granularity at which destinations are grouped and routes installed
+// (paper §III-B "Destinations as Routes").
+enum class Granularity {
+  kHost,    // one /32 route per destination host
+  kPrefix,  // one route per prefix (e.g. per PoP)
+};
+
+// Riptide's tunable parameters — Table I of the paper, plus the §III
+// design-variation knobs.
+struct RiptideConfig {
+  // Weight applied to the *historical* value in the moving average; 1-alpha
+  // goes to the newest observation. alpha = 0 disables history.
+  double alpha = 0.5;
+
+  // i_u: how often open-connection windows are polled. The paper's
+  // evaluation uses 1 second.
+  sim::Time update_interval = sim::Time::seconds(1);
+
+  // t: entry time-to-live. With no fresh observations for this long, the
+  // entry and its route are removed, restoring the default IW10. The
+  // paper's deployment uses 90 s.
+  sim::Time ttl = sim::Time::seconds(90);
+
+  // c_max / c_min: clamp on the programmed window, in segments. The paper
+  // settles on c_max = 100 (Fig 10 knee) and floors at the default of 10.
+  std::uint32_t c_max = 100;
+  std::uint32_t c_min = 10;
+
+  CombinerKind combiner = CombinerKind::kAverage;
+
+  Granularity granularity = Granularity::kHost;
+  // Mask length for kPrefix grouping (e.g. 16 to treat a whole PoP as one
+  // destination).
+  int prefix_length = 16;
+
+  // Also raise initrwnd on programmed routes so the peer's Riptide-sized
+  // bursts fit in our advertised window (§III-C). The value installed is
+  // max(c_max, programmed initcwnd).
+  bool set_initrwnd = true;
+
+  // Minimum connections observed toward a destination before programming a
+  // route for it.
+  std::uint32_t min_samples = 1;
+
+  // §V "Additional Algorithms": trend guard. A sharp fall of the combined
+  // observation relative to the stored value — more than
+  // `trend_drop_fraction` in one poll — signals a network incident; rather
+  // than letting the EWMA glide down over many intervals, the learned
+  // window is reset to c_min immediately ("aggressively decrease the
+  // initial windows, beyond what is happening to existing connections").
+  bool trend_guard = false;
+  double trend_drop_fraction = 0.5;
+
+  // Observe connections through the textual `ss` round-trip (format, then
+  // parse) instead of the in-memory snapshot. Functionally identical by
+  // construction — the paper's tool is exactly such a text-scraping
+  // script — and kept as an option to prove the text surface suffices.
+  bool via_text_interface = false;
+};
+
+}  // namespace riptide::core

@@ -1,0 +1,50 @@
+#include "core/observed_table.h"
+
+namespace riptide::core {
+
+double ObservedTable::fold(const net::Prefix& destination, double observed,
+                           double alpha, sim::Time now) {
+  const auto it = entries_.find(destination);
+  if (it == entries_.end()) {
+    entries_.emplace(destination,
+                     DestinationState{observed, now, /*updates=*/1});
+    return observed;
+  }
+  const double folded =
+      alpha * it->second.final_window_segments + (1.0 - alpha) * observed;
+  it->second.last_updated = now;
+  ++it->second.updates;
+  return folded;
+}
+
+void ObservedTable::store_final(const net::Prefix& destination,
+                                double final_value, sim::Time now) {
+  auto& entry = entries_[destination];
+  entry.final_window_segments = final_value;
+  entry.last_updated = now;
+}
+
+bool ObservedTable::contains(const net::Prefix& destination) const {
+  return entries_.contains(destination);
+}
+
+const DestinationState* ObservedTable::find(
+    const net::Prefix& destination) const {
+  const auto it = entries_.find(destination);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> ObservedTable::expire(sim::Time now, sim::Time ttl) {
+  std::vector<net::Prefix> expired;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_updated > ttl) {
+      expired.push_back(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace riptide::core

@@ -1,0 +1,35 @@
+#include "core/route_programmer.h"
+
+#include <stdexcept>
+
+namespace riptide::core {
+
+void HostRouteProgrammer::set_initial_windows(const net::Prefix& dst,
+                                              std::uint32_t initcwnd_segments,
+                                              std::uint32_t initrwnd_segments) {
+  if (dst.length() == 0) {
+    // Refuse to rewrite the default route: the misconfiguration §III-C
+    // warns about (machines becoming unreachable).
+    throw std::invalid_argument(
+        "HostRouteProgrammer: refusing to replace the default route");
+  }
+  // Resolve the egress from the underlying route, not from a previously
+  // installed Riptide route for the same destination — otherwise a path
+  // change (e.g. failover of the default route) would never propagate.
+  const host::RouteEntry* covering =
+      host_.routing_table().lookup_excluding(dst.address(), dst);
+  if (covering == nullptr || covering->device == nullptr) {
+    throw std::logic_error("HostRouteProgrammer: no covering route for " +
+                           dst.to_string());
+  }
+  host_.routing_table().add_or_replace(
+      dst, *covering->device,
+      host::RouteMetrics{initcwnd_segments, initrwnd_segments});
+  ++routes_programmed_;
+}
+
+void HostRouteProgrammer::clear(const net::Prefix& dst) {
+  if (host_.routing_table().remove(dst)) ++routes_cleared_;
+}
+
+}  // namespace riptide::core

@@ -1,0 +1,181 @@
+#include "host/host.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace riptide::host {
+
+Host::Host(sim::Simulator& sim, std::string name, net::Ipv4Address address,
+           tcp::TcpConfig default_config)
+    : sim_(sim),
+      name_(std::move(name)),
+      address_(address),
+      default_config_(default_config) {}
+
+void Host::attach_uplink(net::PacketSink& uplink) {
+  uplink_ = &uplink;
+  routes_.add_or_replace(net::Prefix(net::Ipv4Address(0), 0), uplink);
+}
+
+tcp::TcpConfig Host::effective_config(net::Ipv4Address peer,
+                                      const tcp::TcpConfig& base) const {
+  tcp::TcpConfig config = base;
+  config.initial_cwnd_segments =
+      routes_.effective_initcwnd(peer, base.initial_cwnd_segments);
+  config.initial_rwnd_segments =
+      routes_.effective_initrwnd(peer, base.initial_rwnd_segments);
+  return config;
+}
+
+std::uint16_t Host::allocate_port() {
+  // Linux-style ephemeral range; skip ports that are still in use (e.g. a
+  // lingering TIME-WAIT with the same peer would be caught at tuple insert).
+  const std::uint16_t port = next_ephemeral_port_;
+  next_ephemeral_port_ =
+      next_ephemeral_port_ >= 60999 ? 32768 : next_ephemeral_port_ + 1;
+  return port;
+}
+
+tcp::TcpConnection& Host::create_connection(
+    const tcp::FourTuple& tuple, const tcp::TcpConfig& config,
+    tcp::TcpConnection::Callbacks callbacks) {
+  auto sender = [this, tuple](std::shared_ptr<const tcp::Segment> seg) {
+    send_segment(tuple, std::move(seg));
+  };
+
+  auto conn = std::make_unique<tcp::TcpConnection>(
+      sim_, config, tuple, std::move(sender), std::move(callbacks));
+  // Host-owned cleanup; survives any later set_callbacks by the app.
+  conn->set_teardown_hook([this, tuple] { schedule_removal(tuple); });
+  auto [it, inserted] = connections_.emplace(tuple, std::move(conn));
+  if (!inserted) {
+    throw std::logic_error("Host::create_connection: tuple already in use: " +
+                           tuple.to_string());
+  }
+  return *it->second;
+}
+
+void Host::schedule_removal(const tcp::FourTuple& tuple) {
+  // Deferred: the connection object is still on the call stack.
+  sim_.schedule(sim::Time::zero(), [this, tuple] {
+    const auto it = connections_.find(tuple);
+    if (it != connections_.end() && it->second->closed()) {
+      connections_.erase(it);
+    }
+  });
+}
+
+tcp::TcpConnection& Host::connect(
+    net::Ipv4Address dst, std::uint16_t dst_port,
+    tcp::TcpConnection::Callbacks callbacks,
+    std::optional<tcp::TcpConfig> override_config) {
+  const tcp::TcpConfig base = override_config.value_or(default_config_);
+  const tcp::TcpConfig config = effective_config(dst, base);
+
+  tcp::FourTuple tuple{address_, allocate_port(), dst, dst_port};
+  // Extremely long simulations can wrap the ephemeral space; skip over any
+  // tuple still alive.
+  while (connections_.contains(tuple)) tuple.local_port = allocate_port();
+
+  ++stats_.connections_opened;
+  auto& conn = create_connection(tuple, config, std::move(callbacks));
+  conn.connect();
+  return conn;
+}
+
+void Host::listen(std::uint16_t port, AcceptHook on_accept) {
+  if (!listeners_.emplace(port, std::move(on_accept)).second) {
+    throw std::logic_error("Host::listen: port already listening");
+  }
+}
+
+void Host::close_listener(std::uint16_t port) { listeners_.erase(port); }
+
+void Host::send_segment(const tcp::FourTuple& tuple,
+                        std::shared_ptr<const tcp::Segment> seg) {
+  const RouteEntry* route = routes_.lookup(tuple.remote_addr);
+  if (route == nullptr || route->device == nullptr) {
+    ++stats_.no_route_drops;
+    return;
+  }
+  net::Packet packet;
+  packet.src = tuple.local_addr;
+  packet.dst = tuple.remote_addr;
+  packet.size_bytes = seg->payload_bytes + default_config_.header_bytes;
+  packet.payload = std::move(seg);
+  ++stats_.packets_sent;
+  route->device->receive(packet);
+}
+
+void Host::send_rst_for(const net::Packet& packet, const tcp::Segment& seg) {
+  const RouteEntry* route = routes_.lookup(packet.src);
+  if (route == nullptr || route->device == nullptr) return;
+  auto rst = std::make_shared<tcp::Segment>();
+  rst->src_port = seg.dst_port;
+  rst->dst_port = seg.src_port;
+  rst->rst = true;
+  rst->ack_flag = true;
+  rst->ack = seg.seq_end();
+  net::Packet out;
+  out.src = packet.dst;
+  out.dst = packet.src;
+  out.size_bytes = default_config_.header_bytes;
+  out.payload = std::move(rst);
+  ++stats_.rst_sent;
+  ++stats_.packets_sent;
+  route->device->receive(out);
+}
+
+void Host::receive(const net::Packet& packet) {
+  ++stats_.packets_received;
+  const auto* seg = dynamic_cast<const tcp::Segment*>(packet.payload.get());
+  if (seg == nullptr) return;  // only TCP exists in this simulation
+
+  const tcp::FourTuple tuple{packet.dst, seg->dst_port, packet.src,
+                             seg->src_port};
+  const auto it = connections_.find(tuple);
+  if (it != connections_.end()) {
+    it->second->on_segment(*seg);
+    return;
+  }
+
+  if (seg->syn && !seg->ack_flag) {
+    const auto listener = listeners_.find(seg->dst_port);
+    if (listener != listeners_.end()) {
+      ++stats_.connections_accepted;
+      const tcp::TcpConfig config =
+          effective_config(packet.src, default_config_);
+      auto& conn = create_connection(tuple, config, {});
+      listener->second(conn);
+      conn.accept(*seg);
+      return;
+    }
+  }
+
+  ++stats_.no_connection_drops;
+  if (!seg->rst) send_rst_for(packet, *seg);
+}
+
+std::vector<SocketInfo> Host::socket_stats() const {
+  std::vector<SocketInfo> out;
+  out.reserve(connections_.size());
+  for (const auto& [tuple, conn] : connections_) {
+    SocketInfo info;
+    info.tuple = tuple;
+    info.state = conn->state();
+    info.cwnd_segments = conn->cwnd_segments();
+    info.bytes_acked = conn->bytes_acked();
+    info.bytes_in_flight = conn->bytes_in_flight();
+    info.srtt = conn->srtt();
+    info.established_at = conn->established_at();
+    out.push_back(info);
+  }
+  return out;
+}
+
+tcp::TcpConnection* Host::find_connection(const tcp::FourTuple& tuple) {
+  const auto it = connections_.find(tuple);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace riptide::host

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "host/routing_table.h"
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/connection.h"
+#include "tcp/tuple.h"
+
+namespace riptide::host {
+
+// One row of the host's `ss -ti`-style connection dump: the information
+// surface Riptide's observer polls (paper §III-B: current cwnd per open
+// connection; bytes transferred are also "available via ss" and feed the
+// traffic-weighted combiner variant).
+struct SocketInfo {
+  tcp::FourTuple tuple;
+  tcp::TcpState state = tcp::TcpState::kClosed;
+  std::uint32_t cwnd_segments = 0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t bytes_in_flight = 0;
+  std::optional<sim::Time> srtt;
+  sim::Time established_at;
+};
+
+struct HostStats {
+  std::uint64_t packets_received = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t rst_sent = 0;
+  std::uint64_t no_route_drops = 0;
+  std::uint64_t no_connection_drops = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_accepted = 0;
+};
+
+// A simulated Linux server: single NIC, TCP demultiplexer, routing table
+// with per-route initial-window metrics, and listener sockets.
+//
+// Route metrics are consulted once per connection at setup time — for both
+// actively opened and accepted connections, exactly as the kernel does —
+// which is the hook Riptide exploits without touching the peer.
+class Host : public net::PacketSink {
+ public:
+  // The accept hook runs before the SYN is processed so the application can
+  // attach callbacks via TcpConnection::set_callbacks.
+  using AcceptHook = std::function<void(tcp::TcpConnection&)>;
+
+  Host(sim::Simulator& sim, std::string name, net::Ipv4Address address,
+       tcp::TcpConfig default_config = {});
+
+  // Points the default route (0.0.0.0/0) at `uplink`.
+  void attach_uplink(net::PacketSink& uplink);
+
+  // Active open. The effective TcpConfig starts from the host default,
+  // applies `override_config` if given, then applies route metrics.
+  tcp::TcpConnection& connect(
+      net::Ipv4Address dst, std::uint16_t dst_port,
+      tcp::TcpConnection::Callbacks callbacks,
+      std::optional<tcp::TcpConfig> override_config = std::nullopt);
+
+  void listen(std::uint16_t port, AcceptHook on_accept);
+  void close_listener(std::uint16_t port);
+
+  void receive(const net::Packet& packet) override;
+
+  // The `ss` surface: a snapshot of all live connections.
+  std::vector<SocketInfo> socket_stats() const;
+
+  // Finds a live connection by tuple; nullptr when gone.
+  tcp::TcpConnection* find_connection(const tcp::FourTuple& tuple);
+
+  RoutingTable& routing_table() { return routes_; }
+  const RoutingTable& routing_table() const { return routes_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  const std::string& name() const { return name_; }
+  net::Ipv4Address address() const { return address_; }
+  tcp::TcpConfig& default_config() { return default_config_; }
+  const HostStats& stats() const { return stats_; }
+  std::size_t connection_count() const { return connections_.size(); }
+
+ private:
+  tcp::TcpConfig effective_config(net::Ipv4Address peer,
+                                  const tcp::TcpConfig& base) const;
+  void send_segment(const tcp::FourTuple& tuple,
+                    std::shared_ptr<const tcp::Segment> seg);
+  void send_rst_for(const net::Packet& packet, const tcp::Segment& seg);
+  tcp::TcpConnection& create_connection(const tcp::FourTuple& tuple,
+                                        const tcp::TcpConfig& config,
+                                        tcp::TcpConnection::Callbacks callbacks);
+  void schedule_removal(const tcp::FourTuple& tuple);
+  std::uint16_t allocate_port();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  net::Ipv4Address address_;
+  tcp::TcpConfig default_config_;
+  RoutingTable routes_;
+  net::PacketSink* uplink_ = nullptr;
+
+  std::unordered_map<tcp::FourTuple, std::unique_ptr<tcp::TcpConnection>,
+                     tcp::FourTupleHash>
+      connections_;
+  std::unordered_map<std::uint16_t, AcceptHook> listeners_;
+  std::uint16_t next_ephemeral_port_ = 32768;
+  HostStats stats_;
+};
+
+}  // namespace riptide::host

@@ -1,0 +1,72 @@
+#include "host/routing_table.h"
+
+#include <algorithm>
+
+namespace riptide::host {
+
+void RoutingTable::add_or_replace(const net::Prefix& prefix,
+                                  net::PacketSink& device,
+                                  RouteMetrics metrics) {
+  for (auto& entry : entries_) {
+    if (entry.prefix == prefix) {
+      entry.device = &device;
+      entry.metrics = metrics;
+      return;
+    }
+  }
+  entries_.push_back(RouteEntry{prefix, &device, metrics});
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const RouteEntry& a, const RouteEntry& b) {
+                     return a.prefix.length() > b.prefix.length();
+                   });
+}
+
+bool RoutingTable::remove(const net::Prefix& prefix) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const RouteEntry& e) { return e.prefix == prefix; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool RoutingTable::has_route(const net::Prefix& prefix) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const RouteEntry& e) { return e.prefix == prefix; });
+}
+
+const RouteEntry* RoutingTable::lookup(net::Ipv4Address dst) const {
+  for (const auto& entry : entries_) {
+    if (entry.prefix.contains(dst)) return &entry;
+  }
+  return nullptr;
+}
+
+const RouteEntry* RoutingTable::lookup_excluding(
+    net::Ipv4Address dst, const net::Prefix& excluded) const {
+  for (const auto& entry : entries_) {
+    if (entry.prefix == excluded) continue;
+    if (entry.prefix.contains(dst)) return &entry;
+  }
+  return nullptr;
+}
+
+std::uint32_t RoutingTable::effective_initcwnd(net::Ipv4Address dst,
+                                               std::uint32_t fallback) const {
+  const RouteEntry* entry = lookup(dst);
+  if (entry == nullptr || entry->metrics.initcwnd_segments == 0) {
+    return fallback;
+  }
+  return entry->metrics.initcwnd_segments;
+}
+
+std::uint32_t RoutingTable::effective_initrwnd(net::Ipv4Address dst,
+                                               std::uint32_t fallback) const {
+  const RouteEntry* entry = lookup(dst);
+  if (entry == nullptr || entry->metrics.initrwnd_segments == 0) {
+    return fallback;
+  }
+  return entry->metrics.initrwnd_segments;
+}
+
+}  // namespace riptide::host

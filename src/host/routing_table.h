@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace riptide::host {
+
+// Per-route TCP metrics, mirroring the `initcwnd` / `initrwnd` attributes of
+// `ip route`. Zero means "unset — use the system default". This is the
+// entire kernel surface Riptide drives (paper §III-C: the initial window
+// cannot be set per-socket, only per-route).
+struct RouteMetrics {
+  std::uint32_t initcwnd_segments = 0;
+  std::uint32_t initrwnd_segments = 0;
+
+  friend bool operator==(const RouteMetrics&, const RouteMetrics&) = default;
+};
+
+struct RouteEntry {
+  net::Prefix prefix;
+  net::PacketSink* device = nullptr;  // egress (the host uplink in practice)
+  RouteMetrics metrics;
+};
+
+// A host routing table with longest-prefix-match semantics and `ip route`
+// style mutation. Lookups happen at connection setup only (as in Linux,
+// where the route's initcwnd is read once when the socket transmits its
+// SYN), so a linear scan over a sorted vector is plenty.
+class RoutingTable {
+ public:
+  // `ip route replace <prefix> ... initcwnd N initrwnd M`
+  void add_or_replace(const net::Prefix& prefix, net::PacketSink& device,
+                      RouteMetrics metrics = {});
+
+  // `ip route del <prefix>`; returns false when absent.
+  bool remove(const net::Prefix& prefix);
+
+  bool has_route(const net::Prefix& prefix) const;
+
+  // Longest-prefix match; nullptr when nothing covers `dst`.
+  const RouteEntry* lookup(net::Ipv4Address dst) const;
+
+  // Longest-prefix match skipping the entry for exactly `excluded`. Used
+  // when *replacing* a route: the new entry's egress should come from the
+  // underlying (less specific) route, not from the route being replaced.
+  const RouteEntry* lookup_excluding(net::Ipv4Address dst,
+                                     const net::Prefix& excluded) const;
+
+  // Effective initial windows for a destination: the most specific route's
+  // metric, or `fallback` where the metric is unset.
+  std::uint32_t effective_initcwnd(net::Ipv4Address dst,
+                                   std::uint32_t fallback) const;
+  std::uint32_t effective_initrwnd(net::Ipv4Address dst,
+                                   std::uint32_t fallback) const;
+
+  const std::vector<RouteEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  // Sorted by descending prefix length (most specific first).
+  std::vector<RouteEntry> entries_;
+};
+
+}  // namespace riptide::host

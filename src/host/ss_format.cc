@@ -1,0 +1,138 @@
+#include "host/ss_format.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace riptide::host {
+
+namespace {
+
+const char* state_token(tcp::TcpState state) {
+  switch (state) {
+    case tcp::TcpState::kEstablished: return "ESTAB";
+    case tcp::TcpState::kSynSent: return "SYN-SENT";
+    case tcp::TcpState::kSynReceived: return "SYN-RECV";
+    case tcp::TcpState::kFinWait1: return "FIN-WAIT-1";
+    case tcp::TcpState::kFinWait2: return "FIN-WAIT-2";
+    case tcp::TcpState::kCloseWait: return "CLOSE-WAIT";
+    case tcp::TcpState::kClosing: return "CLOSING";
+    case tcp::TcpState::kLastAck: return "LAST-ACK";
+    case tcp::TcpState::kTimeWait: return "TIME-WAIT";
+    case tcp::TcpState::kClosed: return "CLOSED";
+  }
+  return "UNKNOWN";
+}
+
+bool parse_state(const std::string& token, tcp::TcpState& out) {
+  static const std::pair<const char*, tcp::TcpState> kStates[] = {
+      {"ESTAB", tcp::TcpState::kEstablished},
+      {"SYN-SENT", tcp::TcpState::kSynSent},
+      {"SYN-RECV", tcp::TcpState::kSynReceived},
+      {"FIN-WAIT-1", tcp::TcpState::kFinWait1},
+      {"FIN-WAIT-2", tcp::TcpState::kFinWait2},
+      {"CLOSE-WAIT", tcp::TcpState::kCloseWait},
+      {"CLOSING", tcp::TcpState::kClosing},
+      {"LAST-ACK", tcp::TcpState::kLastAck},
+      {"TIME-WAIT", tcp::TcpState::kTimeWait},
+      {"CLOSED", tcp::TcpState::kClosed},
+  };
+  for (const auto& [name, state] : kStates) {
+    if (token == name) {
+      out = state;
+      return true;
+    }
+  }
+  return false;
+}
+
+// "10.0.0.1:42000" -> address + port.
+bool parse_endpoint(const std::string& token, net::Ipv4Address& addr,
+                    std::uint16_t& port) {
+  const auto colon = token.rfind(':');
+  if (colon == std::string::npos) return false;
+  try {
+    addr = net::Ipv4Address::parse(token.substr(0, colon));
+    const int p = std::stoi(token.substr(colon + 1));
+    if (p < 0 || p > 65535) return false;
+    port = static_cast<std::uint16_t>(p);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+// "key:value" -> value string, empty when the key doesn't match.
+bool keyed_value(const std::string& token, const char* key,
+                 std::string& value) {
+  const std::string prefix = std::string(key) + ":";
+  if (token.rfind(prefix, 0) != 0) return false;
+  value = token.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+std::string format_socket_stats(const std::vector<SocketInfo>& infos) {
+  std::ostringstream os;
+  for (const auto& info : infos) {
+    char rtt_buf[32];
+    if (info.srtt) {
+      std::snprintf(rtt_buf, sizeof(rtt_buf), "%.3f",
+                    info.srtt->to_milliseconds());
+    } else {
+      std::snprintf(rtt_buf, sizeof(rtt_buf), "-");
+    }
+    os << state_token(info.state) << ' '
+       << info.tuple.local_addr.to_string() << ':' << info.tuple.local_port
+       << ' ' << info.tuple.remote_addr.to_string() << ':'
+       << info.tuple.remote_port << " cwnd:" << info.cwnd_segments
+       << " bytes_acked:" << info.bytes_acked << " rtt:" << rtt_buf
+       << " unacked:" << info.bytes_in_flight << '\n';
+  }
+  return os.str();
+}
+
+std::vector<ParsedSocketInfo> parse_socket_stats(const std::string& text) {
+  std::vector<ParsedSocketInfo> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string state_tok, local_tok, remote_tok;
+    if (!(fields >> state_tok >> local_tok >> remote_tok)) continue;
+
+    ParsedSocketInfo info;
+    if (!parse_state(state_tok, info.state)) continue;
+    if (!parse_endpoint(local_tok, info.local_addr, info.local_port)) continue;
+    if (!parse_endpoint(remote_tok, info.remote_addr, info.remote_port)) {
+      continue;
+    }
+
+    bool have_cwnd = false;
+    std::string token, value;
+    bool bad = false;
+    while (fields >> token) {
+      try {
+        if (keyed_value(token, "cwnd", value)) {
+          info.cwnd_segments = static_cast<std::uint32_t>(std::stoul(value));
+          have_cwnd = true;
+        } else if (keyed_value(token, "bytes_acked", value)) {
+          info.bytes_acked = std::stoull(value);
+        } else if (keyed_value(token, "rtt", value)) {
+          info.rtt_ms = value == "-" ? -1.0 : std::stod(value);
+        } else if (keyed_value(token, "unacked", value)) {
+          info.bytes_in_flight = std::stoull(value);
+        }
+        // Unknown keys are ignored: newer `ss` versions add fields.
+      } catch (...) {
+        bad = true;
+        break;
+      }
+    }
+    if (bad || !have_cwnd) continue;
+    out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace riptide::host

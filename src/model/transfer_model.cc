@@ -1,0 +1,58 @@
+#include "model/transfer_model.h"
+
+#include <stdexcept>
+
+namespace riptide::model {
+
+std::uint32_t rtts_for_transfer(std::uint64_t size_bytes,
+                                const ModelParams& params) {
+  if (params.mss_bytes == 0 || params.initcwnd_segments == 0) {
+    throw std::invalid_argument("rtts_for_transfer: zero mss or initcwnd");
+  }
+  if (size_bytes == 0) return 0;
+  const std::uint64_t segments =
+      (size_bytes + params.mss_bytes - 1) / params.mss_bytes;
+
+  std::uint64_t window = params.initcwnd_segments;
+  std::uint64_t sent = 0;
+  std::uint32_t rtts = 0;
+  while (sent < segments) {
+    sent += window;
+    // Double per RTT; cap the doubling once the remaining data fits to
+    // avoid pointless overflow on huge inputs.
+    if (window < (std::uint64_t{1} << 62)) window *= 2;
+    ++rtts;
+  }
+  return rtts;
+}
+
+std::uint64_t max_bytes_in_rtts(std::uint32_t rtts, const ModelParams& params) {
+  // Geometric sum: initcwnd * (2^rtts - 1) segments.
+  std::uint64_t window = params.initcwnd_segments;
+  std::uint64_t total_segments = 0;
+  for (std::uint32_t i = 0; i < rtts; ++i) {
+    total_segments += window;
+    window *= 2;
+  }
+  return total_segments * params.mss_bytes;
+}
+
+sim::Time transfer_time(std::uint64_t size_bytes, const ModelParams& params,
+                        sim::Time rtt, bool include_handshake) {
+  const std::uint32_t rtts =
+      rtts_for_transfer(size_bytes, params) + (include_handshake ? 1 : 0);
+  return rtt * static_cast<std::int64_t>(rtts);
+}
+
+double rtt_reduction(std::uint64_t size_bytes, std::uint32_t baseline_initcwnd,
+                     std::uint32_t new_initcwnd, std::uint32_t mss_bytes) {
+  ModelParams base{mss_bytes, baseline_initcwnd};
+  ModelParams improved{mss_bytes, new_initcwnd};
+  const std::uint32_t rtts_base = rtts_for_transfer(size_bytes, base);
+  if (rtts_base == 0) return 0.0;
+  const std::uint32_t rtts_new = rtts_for_transfer(size_bytes, improved);
+  return static_cast<double>(rtts_base - rtts_new) /
+         static_cast<double>(rtts_base);
+}
+
+}  // namespace riptide::model

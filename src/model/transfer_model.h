@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace riptide::model {
+
+// The idealized transfer-time model of paper §II-B, used for Figures 3, 4
+// and 6. Assumptions (the paper's): zero serialization delay, immediate
+// ACKs, no loss, no flow-control bottleneck, and slow start that doubles
+// the window every RTT. Real transfers are strictly slower, so the model
+// bounds the best case for a given initial window.
+
+struct ModelParams {
+  std::uint32_t mss_bytes = 1460;
+  std::uint32_t initcwnd_segments = 10;
+};
+
+// Number of round trips needed to deliver `size_bytes` of application data
+// (excluding the connection handshake): the smallest n with
+//   sum_{i=0}^{n-1} initcwnd * 2^i  >=  ceil(size / mss)  segments.
+// Zero-byte transfers take 0 RTTs.
+std::uint32_t rtts_for_transfer(std::uint64_t size_bytes,
+                                const ModelParams& params);
+
+// Largest transfer (bytes) that completes within `rtts` round trips.
+std::uint64_t max_bytes_in_rtts(std::uint32_t rtts, const ModelParams& params);
+
+// Wall-clock transfer time over a path with the given RTT, optionally
+// charging one extra RTT for the TCP handshake of a fresh connection.
+sim::Time transfer_time(std::uint64_t size_bytes, const ModelParams& params,
+                        sim::Time rtt, bool include_handshake = false);
+
+// Fractional reduction in RTTs relative to a baseline initial window
+// (Fig 4): (rtts_base - rtts_new) / rtts_base, in [0, 1). Zero when the
+// transfer is empty.
+double rtt_reduction(std::uint64_t size_bytes, std::uint32_t baseline_initcwnd,
+                     std::uint32_t new_initcwnd, std::uint32_t mss_bytes = 1460);
+
+}  // namespace riptide::model

@@ -1,0 +1,54 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace riptide::net {
+
+Link::Link(sim::Simulator& sim, Config config, PacketSink& sink, sim::Rng* rng)
+    : sim_(sim), config_(std::move(config)), sink_(sink), rng_(rng) {
+  if (config_.rate_bps <= 0.0) {
+    throw std::invalid_argument("Link: rate must be positive");
+  }
+  if (config_.loss_probability > 0.0 && rng_ == nullptr) {
+    throw std::invalid_argument("Link: loss requires an Rng");
+  }
+}
+
+sim::Time Link::transmission_time(std::uint32_t bytes) const {
+  return sim::Time::from_seconds(static_cast<double>(bytes) * 8.0 /
+                                 config_.rate_bps);
+}
+
+void Link::receive(const Packet& packet) {
+  ++stats_.packets_sent;
+
+  if (rng_ != nullptr && rng_->bernoulli(config_.loss_probability)) {
+    ++stats_.drops_random_loss;
+    return;
+  }
+
+  if (queued_ >= config_.queue_packets) {
+    ++stats_.drops_queue_full;
+    return;
+  }
+
+  const sim::Time start = std::max(sim_.now(), busy_until_);
+  const sim::Time done = start + transmission_time(packet.size_bytes);
+  busy_until_ = done;
+  ++queued_;
+
+  // The buffer slot is freed once serialization completes; propagation is
+  // flight time on the wire and must not consume queue capacity (a long
+  // path would otherwise throttle the link far below its rate).
+  sim_.schedule_at(done, [this] { --queued_; });
+  sim_.schedule_at(done + config_.propagation_delay, [this, packet] {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet.size_bytes;
+    sink_.receive(packet);
+  });
+}
+
+}  // namespace riptide::net

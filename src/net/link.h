@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace riptide::sim {
+class Rng;
+}
+
+namespace riptide::net {
+
+// Counters a link exposes for diagnostics and experiments.
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t drops_random_loss = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+// Unidirectional point-to-point link: fixed rate, fixed propagation delay,
+// drop-tail queue bounded in packets, optional i.i.d. random loss (standing
+// in for cross-traffic on shared WAN segments).
+//
+// Lifetime: a Link schedules delivery events that reference it, so it must
+// outlive the simulation run (or at least every packet admitted to it).
+// Topologies own their links for the full run; to "replace" a link (e.g.
+// degrade a path mid-run), point the routes at a new Link and keep the old
+// one alive until its queue drains.
+//
+// The transmission pipeline is modeled with a single "transmitter busy
+// until" timestamp: a packet admitted at time t starts serializing at
+// max(t, busy_until) provided the queue has room, and is delivered to the
+// sink one propagation delay after serialization finishes.
+class Link : public PacketSink {
+ public:
+  struct Config {
+    double rate_bps = 1e9;            // serialization rate
+    sim::Time propagation_delay = sim::Time::milliseconds(1);
+    std::size_t queue_packets = 256;  // drop-tail capacity beyond in-service
+    double loss_probability = 0.0;    // i.i.d. loss applied before queueing
+    std::string name = "link";
+  };
+
+  // `rng` may be null when loss_probability == 0.
+  Link(sim::Simulator& sim_, Config config, PacketSink& sink,
+       sim::Rng* rng = nullptr);
+
+  void receive(const Packet& packet) override;
+
+  // Serialization delay for a packet of `bytes` at this link's rate.
+  sim::Time transmission_time(std::uint32_t bytes) const;
+
+  const LinkStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+  std::size_t queue_depth() const { return queued_; }
+
+ private:
+  sim::Simulator& sim_;
+  Config config_;
+  PacketSink& sink_;
+  sim::Rng* rng_;
+  sim::Time busy_until_;
+  std::size_t queued_ = 0;  // packets admitted but not yet fully serialized
+  LinkStats stats_;
+};
+
+}  // namespace riptide::net

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/ipv4.h"
+
+namespace riptide::net {
+
+// Base class for transport payloads carried inside a Packet. The TCP module
+// derives its Segment from this, keeping net below tcp in the layering.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+// A simulated IP datagram. Payload contents are shared (immutable once sent)
+// so fan-out through queues never copies segment state.
+struct Packet {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint32_t size_bytes = 0;  // full on-wire size incl. headers
+  std::shared_ptr<const Payload> payload;
+};
+
+// Anything that can consume packets: routers, host NIC receive paths, sinks.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(const Packet& packet) = 0;
+};
+
+}  // namespace riptide::net

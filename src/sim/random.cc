@@ -1,0 +1,60 @@
+#include "sim/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace riptide::sim {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("Rng::exponential: mean <= 0");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  if (x_m <= 0.0 || alpha <= 0.0) {
+    throw std::invalid_argument("Rng::pareto: parameters must be positive");
+  }
+  // Inverse-CDF sampling; clamp u away from 0 to avoid infinity.
+  const double u = std::max(uniform(0.0, 1.0), 1e-12);
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  // SplitMix64 step over (parent draw ^ salt) gives well-separated seeds.
+  std::uint64_t z = engine_() ^ (salt + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return Rng(z);
+}
+
+}  // namespace riptide::sim

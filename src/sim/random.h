@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace riptide::sim {
+
+// Deterministic random source for simulations. All distributions hang off a
+// single seeded engine so an experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  // Exponential with the given mean (= 1 / rate). Precondition: mean > 0.
+  double exponential(double mean);
+
+  // Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+
+  double normal(double mean, double stddev);
+
+  // Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double pareto(double x_m, double alpha);
+
+  std::mt19937_64& engine() { return engine_; }
+
+  // Derives an independent child stream; children with distinct salts do not
+  // correlate with the parent or each other.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace riptide::sim

@@ -1,0 +1,93 @@
+#include "sim/simulator.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace riptide::sim {
+
+EventHandle Simulator::schedule(Time delay, Callback cb) {
+  if (delay < Time::zero()) {
+    throw std::invalid_argument("Simulator::schedule: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::schedule_at(Time when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(cb), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+EventHandle Simulator::schedule_periodic(Time initial_delay, Time interval,
+                                         Callback cb) {
+  if (interval <= Time::zero()) {
+    throw std::invalid_argument("Simulator::schedule_periodic: interval <= 0");
+  }
+  auto cancelled = std::make_shared<bool>(false);
+  // The recurring lambda reschedules itself under the same cancellation
+  // flag so one handle controls the whole series. Ownership of the function
+  // object lives in the queued events; the lambda itself only holds a weak
+  // reference, so cancelling (or draining) the series frees everything.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = tick;
+  *tick = [this, interval, cb = std::move(cb), cancelled, weak_tick]() {
+    cb();
+    if (!*cancelled) {
+      if (auto strong = weak_tick.lock()) {
+        queue_.push(Event{now_ + interval, next_seq_++,
+                          [strong] { (*strong)(); }, cancelled});
+      }
+    }
+  };
+  queue_.push(Event{now_ + initial_delay, next_seq_++,
+                    [tick] { (*tick)(); }, cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+void Simulator::purge_cancelled_top() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+}
+
+bool Simulator::pop_and_run_next() {
+  // Precondition: the queue head is a live (non-cancelled) event. Callers
+  // purge first so deadline checks in run_until never look at dead entries.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ev.cb();
+  ++executed_;
+  return true;
+}
+
+std::uint64_t Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  for (;;) {
+    purge_cancelled_top();
+    if (stopped_ || queue_.empty() || queue_.top().when > deadline) break;
+    pop_and_run_next();
+    ++ran;
+  }
+  // Advance the clock to the deadline so consecutive run_until calls observe
+  // contiguous time even when the queue idles.
+  if (now_ < deadline) now_ = deadline;
+  return ran;
+}
+
+std::uint64_t Simulator::run() {
+  stopped_ = false;
+  std::uint64_t ran = 0;
+  for (;;) {
+    purge_cancelled_top();
+    if (stopped_ || queue_.empty()) break;
+    pop_and_run_next();
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace riptide::sim

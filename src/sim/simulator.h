@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace riptide::sim {
+
+// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but is skipped when popped (cheap for the common case
+// of TCP retransmission timers, which are rescheduled on every ACK).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event (if still pending) and releases the handle: a
+  // cancelled handle reads as invalid, so guards like
+  // `if (timer.valid()) return;` rearm correctly after cancellation.
+  void cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+      cancelled_.reset();
+    }
+  }
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+// Single-threaded discrete-event simulator. Events at equal timestamps fire
+// in scheduling (FIFO) order, which keeps runs deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  // Schedules `cb` to run at now() + delay. Precondition: delay >= 0.
+  EventHandle schedule(Time delay, Callback cb);
+  EventHandle schedule_at(Time when, Callback cb);
+
+  // Schedules `cb` every `interval`, starting at now() + initial_delay.
+  // The returned handle cancels all future firings.
+  EventHandle schedule_periodic(Time initial_delay, Time interval, Callback cb);
+
+  // Runs events until the queue empties or `deadline` is reached; events
+  // scheduled exactly at the deadline still run. Returns the number of
+  // events executed.
+  std::uint64_t run_until(Time deadline);
+
+  // Runs until the queue is empty. Use run_until for open-loop workloads
+  // that generate events forever.
+  std::uint64_t run();
+
+  // Stops the current run_* call after the in-flight event completes.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void purge_cancelled_top();
+  bool pop_and_run_next();
+
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace riptide::sim

@@ -1,0 +1,98 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace riptide::stats {
+
+void Cdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = samples_.size() <= 1;
+}
+
+void Cdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = samples_.size() <= 1;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::quantile(double q) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Cdf::quantile on empty distribution");
+  }
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Cdf::quantile: q outside [0, 1]");
+  }
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Cdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::min() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("Cdf::min on empty");
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("Cdf::max on empty");
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) throw std::logic_error("Cdf::mean on empty");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = points == 1
+                         ? 0.5
+                         : static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(q, quantile(q));
+  }
+  return out;
+}
+
+std::string Cdf::summary_string() const {
+  if (samples_.empty()) return "(empty)";
+  std::ostringstream os;
+  os << "n=" << count();
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    os << " p" << static_cast<int>(p) << "=" << percentile(p);
+  }
+  return os.str();
+}
+
+const std::vector<double>& Cdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+}  // namespace riptide::stats

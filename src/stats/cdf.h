@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace riptide::stats {
+
+// Empirical distribution over double-valued samples. Samples are accumulated
+// unsorted and sorted lazily on first query, so insertion stays O(1).
+//
+// Used throughout the benches to regenerate the paper's CDF figures (file
+// sizes, RTTs, congestion windows, completion times).
+class Cdf {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Quantile in [0, 1]; linear interpolation between order statistics.
+  // Precondition: !empty() and 0 <= q <= 1.
+  double quantile(double q) const;
+
+  // Convenience: quantile(p / 100).
+  double percentile(double p) const { return quantile(p / 100.0); }
+
+  // Fraction of samples <= x (the empirical CDF evaluated at x).
+  double fraction_at_or_below(double x) const;
+
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // Evenly spaced (quantile, value) points, e.g. for printing a CDF curve.
+  // Returns `points` pairs covering q in [0, 1].
+  std::vector<std::pair<double, double>> curve(std::size_t points) const;
+
+  // Renders "p10=.. p25=.. p50=.. p75=.. p90=.. p99=.." for logs.
+  std::string summary_string() const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace riptide::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+namespace riptide::stats {
+
+// Exponentially weighted moving average as used by Riptide's history
+// combination step (paper §III-B): `final = alpha * history + (1 - alpha) *
+// observation`. `alpha` is the weight applied to the *historical* value, so
+// alpha = 0 ignores history entirely and alpha -> 1 freezes the estimate.
+class Ewma {
+ public:
+  // Precondition: 0 <= alpha <= 1.
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  // Folds one observation into the average. The first observation seeds the
+  // history directly (there is nothing to weight against yet).
+  double update(double observation) {
+    if (value_) {
+      value_ = alpha_ * *value_ + (1.0 - alpha_) * observation;
+    } else {
+      value_ = observation;
+    }
+    return *value_;
+  }
+
+  bool has_value() const { return value_.has_value(); }
+  double value() const { return value_.value(); }
+  double alpha() const { return alpha_; }
+  void reset() { value_.reset(); }
+
+ private:
+  double alpha_;
+  std::optional<double> value_;
+};
+
+}  // namespace riptide::stats

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace riptide::stats {
+
+// Fixed-width linear histogram over [lo, hi). Samples outside the range land
+// in dedicated underflow/overflow buckets so no observation is silently lost.
+class Histogram {
+ public:
+  // Precondition: lo < hi, buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  // Index of the most populated bucket (ties resolve to the lowest index).
+  // Precondition: total() > 0.
+  std::size_t mode_bucket() const;
+
+  // ASCII rendering for bench/debug output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace riptide::stats

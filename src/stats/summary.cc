@@ -1,0 +1,56 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace riptide::stats {
+
+void Summary::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Summary::mean() const {
+  if (empty()) throw std::logic_error("Summary::mean on empty");
+  return mean_;
+}
+
+double Summary::variance() const {
+  if (empty()) throw std::logic_error("Summary::variance on empty");
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  if (empty()) throw std::logic_error("Summary::min on empty");
+  return min_;
+}
+
+double Summary::max() const {
+  if (empty()) throw std::logic_error("Summary::max on empty");
+  return max_;
+}
+
+std::string Summary::to_string() const {
+  if (empty()) return "(empty)";
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace riptide::stats

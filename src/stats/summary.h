@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace riptide::stats {
+
+// Streaming summary statistics (Welford's online algorithm), O(1) memory.
+// Suitable for long simulations where storing every sample is wasteful.
+class Summary {
+ public:
+  void add(double sample);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Preconditions: !empty() (variance/stddev additionally need count >= 2,
+  // and return 0 for a single sample).
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace riptide::stats

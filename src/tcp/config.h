@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace riptide::tcp {
+
+enum class CcAlgorithm {
+  kNewReno,
+  kCubic,  // Linux default, and the paper's deployment (§III-B)
+};
+
+// Per-connection TCP tuning knobs. Defaults mirror a stock Linux host of the
+// paper's era: IW10 (RFC 6928), Cubic, min RTO 200 ms, delayed ACKs with
+// byte counting, slow-start-after-idle on.
+struct TcpConfig {
+  std::uint32_t mss = 1460;           // payload bytes per full segment
+  std::uint32_t header_bytes = 40;    // IP + TCP headers on the wire
+
+  // Initial congestion window in segments (RFC 6928 default 10). Riptide
+  // overrides this per destination through route metrics at connect time.
+  std::uint32_t initial_cwnd_segments = 10;
+
+  // Initial *receive* window advertised during the handshake, in segments.
+  // Kept deliberately small by default (as in Linux) — §III-C explains why
+  // Riptide must raise it alongside c_max or first bursts stall.
+  std::uint32_t initial_rwnd_segments = 20;
+
+  // Steady-state receive buffer; advertised once the window has opened.
+  std::uint64_t receive_buffer_bytes = 16u * 1024 * 1024;
+
+  CcAlgorithm congestion_control = CcAlgorithm::kCubic;
+
+  // Selective acknowledgments: receivers advertise out-of-order ranges and
+  // the sender retransmits scoreboard holes instead of blindly resending
+  // from snd_una (and go-back-N after an RTO skips ranges the peer already
+  // holds). Like Linux's net.ipv4.tcp_sack, but default-off here so the
+  // baseline stack stays plain NewReno; the SACK ablation quantifies it.
+  bool sack = false;
+
+  // HyStart (CUBIC only): leave slow start when per-round minimum RTTs
+  // show a delay increase, instead of waiting for loss. Off by default —
+  // the study's flows are short and IW-dominated — but available for
+  // long-flow scenarios.
+  bool hystart = false;
+
+  sim::Time initial_rto = sim::Time::seconds(1);
+  sim::Time min_rto = sim::Time::milliseconds(200);
+  sim::Time max_rto = sim::Time::seconds(120);
+
+  // Delayed-ACK policy: ACK immediately every `delayed_ack_segments`-th
+  // full segment (or out-of-order data), otherwise after the timeout.
+  std::uint32_t delayed_ack_segments = 2;
+  sim::Time delayed_ack_timeout = sim::Time::milliseconds(40);
+
+  std::uint32_t duplicate_ack_threshold = 3;
+
+  std::uint32_t max_syn_retries = 6;
+  std::uint32_t max_data_retries = 15;
+
+  // RFC 2861 congestion window validation: collapse cwnd back to the
+  // restart window after an idle period > RTO (Linux
+  // tcp_slow_start_after_idle=1). Note the restart window is the *route*
+  // initial window, so Riptide speeds up idle-restarted connections too.
+  bool slow_start_after_idle = true;
+
+  // Packet pacing (Linux `fq`/`sk_pacing_rate` style): spread the window
+  // over the RTT at `pacing_gain * cwnd / srtt` instead of line-rate
+  // bursts. §II-B warns that large initial windows risk burst-induced
+  // congestion; pacing is the standard mitigation, and the pacing ablation
+  // bench quantifies it. Pacing engages once an RTT sample exists (i.e.
+  // from the first data flight — the handshake seeds the estimator).
+  bool pacing = false;
+  double pacing_gain = 2.0;
+
+  // Shortened TIME_WAIT so simulations recycle port state promptly.
+  sim::Time time_wait_duration = sim::Time::seconds(2);
+
+  std::uint32_t initial_cwnd_bytes() const {
+    return initial_cwnd_segments * mss;
+  }
+  std::uint32_t initial_rwnd_bytes() const {
+    return initial_rwnd_segments * mss;
+  }
+};
+
+}  // namespace riptide::tcp

@@ -1,0 +1,21 @@
+#include "tcp/congestion_control.h"
+
+#include "tcp/cubic.h"
+#include "tcp/reno.h"
+
+namespace riptide::tcp {
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    const TcpConfig& config, std::uint64_t initial_cwnd_bytes) {
+  switch (config.congestion_control) {
+    case CcAlgorithm::kNewReno:
+      return std::make_unique<NewReno>(config.mss, initial_cwnd_bytes);
+    case CcAlgorithm::kCubic:
+      return std::make_unique<Cubic>(config.mss, initial_cwnd_bytes,
+                                     config.hystart);
+  }
+  return std::make_unique<Cubic>(config.mss, initial_cwnd_bytes,
+                                 config.hystart);
+}
+
+}  // namespace riptide::tcp

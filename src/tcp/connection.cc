@@ -1,0 +1,667 @@
+#include "tcp/connection.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace riptide::tcp {
+
+const char* to_string(TcpState state) {
+  switch (state) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kSynSent: return "SYN-SENT";
+    case TcpState::kSynReceived: return "SYN-RECEIVED";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN-WAIT-1";
+    case TcpState::kFinWait2: return "FIN-WAIT-2";
+    case TcpState::kCloseWait: return "CLOSE-WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST-ACK";
+    case TcpState::kTimeWait: return "TIME-WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(sim::Simulator& sim, TcpConfig config,
+                             FourTuple tuple, SegmentSender sender,
+                             Callbacks callbacks)
+    : sim_(sim),
+      config_(config),
+      tuple_(tuple),
+      sender_(std::move(sender)),
+      callbacks_(std::move(callbacks)),
+      cc_(make_congestion_control(config_, config_.initial_cwnd_bytes())),
+      rtt_(config_.initial_rto, config_.min_rto, config_.max_rto) {}
+
+TcpConnection::~TcpConnection() {
+  cancel_rto();
+  delack_timer_.cancel();
+  time_wait_timer_.cancel();
+  pacing_timer_.cancel();
+}
+
+std::uint64_t TcpConnection::bytes_acked() const {
+  if (snd_una_ <= 1) return 0;  // only the SYN (or nothing) acked so far
+  std::uint64_t acked = snd_una_ - 1;
+  if (fin_sent_ && snd_una_ > data_end_seq()) --acked;  // exclude FIN unit
+  return acked;
+}
+
+std::uint64_t TcpConnection::bytes_received() const {
+  if (tracker_.rcv_nxt() == 0) return 0;
+  std::uint64_t received = tracker_.rcv_nxt() - 1;  // exclude peer SYN
+  if (peer_fin_seq_ && tracker_.rcv_nxt() > *peer_fin_seq_) --received;
+  return received;
+}
+
+std::optional<sim::Time> TcpConnection::srtt() const {
+  if (!rtt_.has_sample()) return std::nullopt;
+  return rtt_.srtt();
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+void TcpConnection::connect() {
+  if (state_ != TcpState::kClosed) {
+    throw std::logic_error("TcpConnection::connect: not closed");
+  }
+  state_ = TcpState::kSynSent;
+  auto syn = make_segment();
+  syn->syn = true;
+  syn->seq = 0;
+  syn->ack_flag = false;
+  syn->ack = 0;
+  snd_nxt_ = 1;
+  probe_seq_end_ = 1;  // handshake RTT seeds the estimator
+  probe_sent_at_ = sim_.now();
+  emit(std::move(syn));
+  arm_rto();
+}
+
+void TcpConnection::accept(const Segment& syn) {
+  if (state_ != TcpState::kClosed || !syn.syn) {
+    throw std::logic_error("TcpConnection::accept: bad state or segment");
+  }
+  ++stats_.segments_received;
+  state_ = TcpState::kSynReceived;
+  tracker_ = ReceiveTracker(1);  // peer ISS 0, SYN consumed
+  peer_rwnd_ = syn.window_bytes;
+  auto synack = make_segment();
+  synack->syn = true;
+  synack->seq = 0;
+  snd_nxt_ = 1;
+  probe_seq_end_ = 1;
+  probe_sent_at_ = sim_.now();
+  emit(std::move(synack));
+  arm_rto();
+}
+
+void TcpConnection::send(std::uint64_t bytes) {
+  if (fin_pending_ || fin_sent_) {
+    throw std::logic_error("TcpConnection::send after close()");
+  }
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) {
+    throw std::logic_error("TcpConnection::send on closed connection");
+  }
+  app_bytes_queued_ += bytes;
+  try_send();
+}
+
+void TcpConnection::close() {
+  if (fin_pending_ || fin_sent_ || state_ == TcpState::kClosed) return;
+  fin_pending_ = true;
+  try_send();
+}
+
+void TcpConnection::abort() {
+  if (state_ == TcpState::kClosed) return;
+  send_rst();
+  teardown(true);
+}
+
+void TcpConnection::enter_established() {
+  state_ = TcpState::kEstablished;
+  established_at_ = sim_.now();
+  last_activity_ = sim_.now();
+  if (callbacks_.on_established) callbacks_.on_established();
+}
+
+void TcpConnection::enter_time_wait() {
+  state_ = TcpState::kTimeWait;
+  cancel_rto();
+  delack_timer_.cancel();
+  time_wait_timer_.cancel();
+  time_wait_timer_ =
+      sim_.schedule(config_.time_wait_duration, [this] { teardown(false); });
+}
+
+void TcpConnection::teardown(bool reset) {
+  if (state_ == TcpState::kClosed) return;
+  state_ = TcpState::kClosed;
+  cancel_rto();
+  delack_timer_.cancel();
+  time_wait_timer_.cancel();
+  pacing_timer_.cancel();
+  if (callbacks_.on_closed) callbacks_.on_closed(reset);
+  if (teardown_hook_) teardown_hook_();
+}
+
+// ------------------------------------------------------------ segment I/O
+
+std::shared_ptr<Segment> TcpConnection::make_segment() const {
+  auto seg = std::make_shared<Segment>();
+  seg->src_port = tuple_.local_port;
+  seg->dst_port = tuple_.remote_port;
+  seg->seq = snd_nxt_;
+  seg->ack = tracker_.rcv_nxt();
+  seg->ack_flag = true;
+  seg->window_bytes = advertised_window();
+  if (config_.sack && tracker_.has_out_of_order()) {
+    seg->sack_blocks = tracker_.intervals(3);
+  }
+  return seg;
+}
+
+// ------------------------------------------------------ SACK scoreboard
+
+void TcpConnection::merge_sack_blocks(const Segment& seg) {
+  if (!config_.sack) return;
+  for (auto [start, end] : seg.sack_blocks) {
+    start = std::max(start, snd_una_);
+    if (end <= start) continue;
+    auto it = sacked_.lower_bound(start);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {
+        start = prev->first;
+        end = std::max(end, prev->second);
+        it = sacked_.erase(prev);
+      }
+    }
+    while (it != sacked_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = sacked_.erase(it);
+    }
+    sacked_.emplace(start, end);
+  }
+}
+
+void TcpConnection::purge_sacked_below(std::uint64_t seq) {
+  while (!sacked_.empty()) {
+    const auto it = sacked_.begin();
+    if (it->second <= seq) {
+      sacked_.erase(it);
+      continue;
+    }
+    if (it->first < seq) {
+      const auto end = it->second;
+      sacked_.erase(it);
+      sacked_.emplace(seq, end);
+    }
+    break;
+  }
+}
+
+bool TcpConnection::is_sacked_at(std::uint64_t seq) const {
+  const auto it = sacked_.upper_bound(seq);
+  if (it == sacked_.begin()) return false;
+  return std::prev(it)->second > seq;
+}
+
+std::uint64_t TcpConnection::next_hole(std::uint64_t from) const {
+  const auto it = sacked_.upper_bound(from);
+  if (it == sacked_.begin()) return from;
+  const auto prev = std::prev(it);
+  return prev->second > from ? prev->second : from;
+}
+
+std::uint64_t TcpConnection::sacked_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [s, e] : sacked_) total += e - s;
+  return total;
+}
+
+void TcpConnection::emit(std::shared_ptr<Segment> seg) {
+  ++stats_.segments_sent;
+  sender_(std::move(seg));
+}
+
+void TcpConnection::send_ack_now() {
+  unacked_segments_ = 0;
+  delack_timer_.cancel();
+  emit(make_segment());
+}
+
+void TcpConnection::send_rst() {
+  auto rst = make_segment();
+  rst->rst = true;
+  emit(std::move(rst));
+}
+
+std::uint64_t TcpConnection::advertised_window() const {
+  return window_opened_ ? config_.receive_buffer_bytes
+                        : config_.initial_rwnd_bytes();
+}
+
+void TcpConnection::schedule_delayed_ack() {
+  if (delack_timer_.valid()) return;
+  delack_timer_ = sim_.schedule(config_.delayed_ack_timeout, [this] {
+    delack_timer_ = sim::EventHandle{};
+    if (unacked_segments_ > 0) send_ack_now();
+  });
+}
+
+// --------------------------------------------------------------- sender
+
+std::uint64_t TcpConnection::send_limit_bytes() const {
+  return std::min<std::uint64_t>(cc_->cwnd_bytes() + recovery_inflation_,
+                                 peer_rwnd_);
+}
+
+void TcpConnection::maybe_restart_after_idle() {
+  if (!config_.slow_start_after_idle) return;
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
+  if (bytes_in_flight() > 0) return;
+  if (sim_.now() - last_activity_ > rtt_.rto()) {
+    cc_->on_restart_after_idle();
+  }
+}
+
+bool TcpConnection::pacing_blocked() {
+  if (!config_.pacing || !rtt_.has_sample()) return false;
+  if (sim_.now() >= pace_next_) return false;
+  if (!pacing_timer_.valid()) {
+    pacing_timer_ = sim_.schedule_at(pace_next_, [this] {
+      pacing_timer_ = sim::EventHandle{};
+      try_send();
+    });
+  }
+  return true;
+}
+
+void TcpConnection::note_paced_send(std::uint32_t bytes) {
+  if (!config_.pacing || !rtt_.has_sample()) return;
+  // rate = gain * cwnd / srtt  =>  per-segment spacing = bytes / rate.
+  const double rate_bytes_per_sec =
+      config_.pacing_gain * static_cast<double>(cc_->cwnd_bytes()) /
+      std::max(rtt_.srtt().to_seconds(), 1e-6);
+  const auto spacing = sim::Time::from_seconds(
+      static_cast<double>(bytes) / std::max(rate_bytes_per_sec, 1.0));
+  pace_next_ = std::max(pace_next_, sim_.now()) + spacing;
+}
+
+void TcpConnection::try_send() {
+  const bool may_send_data =
+      state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait;
+  if (!may_send_data) return;
+
+  maybe_restart_after_idle();
+
+  bool sent_any = false;
+  while (snd_nxt_ < data_end_seq() &&
+         bytes_in_flight() < send_limit_bytes()) {
+    if (config_.sack && is_sacked_at(snd_nxt_)) {
+      // Post-RTO rewind ran into a range the peer already holds: skip it.
+      snd_nxt_ = std::min(next_hole(snd_nxt_), data_end_seq());
+      continue;
+    }
+    if (pacing_blocked()) break;
+    auto len_bytes =
+        std::min<std::uint64_t>(config_.mss, data_end_seq() - snd_nxt_);
+    if (config_.sack) {
+      const auto it = sacked_.lower_bound(snd_nxt_ + 1);
+      if (it != sacked_.end() && it->first < snd_nxt_ + len_bytes) {
+        len_bytes = it->first - snd_nxt_;
+      }
+    }
+    const auto len = static_cast<std::uint32_t>(len_bytes);
+    const bool attach_fin =
+        fin_pending_ && snd_nxt_ + len == data_end_seq();
+    send_data_segment(snd_nxt_, len, attach_fin);
+    note_paced_send(len);
+    snd_nxt_ += len + (attach_fin ? 1 : 0);
+    sent_any = true;
+    if (attach_fin) break;
+  }
+
+  // Pure FIN when there is no data left to carry it on.
+  if (fin_pending_ && !fin_sent_ && snd_nxt_ == data_end_seq()) {
+    send_data_segment(snd_nxt_, 0, true);
+    snd_nxt_ += 1;
+    sent_any = true;
+  }
+
+  if (sent_any) {
+    last_activity_ = sim_.now();
+    arm_rto();
+  }
+}
+
+void TcpConnection::send_data_segment(std::uint64_t seq, std::uint32_t len,
+                                      bool fin) {
+  auto seg = make_segment();
+  seg->seq = seq;
+  seg->payload_bytes = len;
+  if (fin) {
+    seg->fin = true;
+    fin_sent_ = true;
+    if (state_ == TcpState::kEstablished) state_ = TcpState::kFinWait1;
+    else if (state_ == TcpState::kCloseWait) state_ = TcpState::kLastAck;
+  }
+  unacked_segments_ = 0;  // this segment carries our current ACK
+  delack_timer_.cancel();
+  if (!probe_seq_end_ && seq == snd_nxt_) {
+    probe_seq_end_ = seq + len + (fin ? 1 : 0);
+    probe_sent_at_ = sim_.now();
+  }
+  emit(std::move(seg));
+}
+
+void TcpConnection::retransmit_front() {
+  ++stats_.retransmissions;
+  probe_seq_end_.reset();  // Karn's rule
+
+  if (snd_una_ == 0) {  // SYN (or SYN-ACK) lost
+    auto syn = make_segment();
+    syn->syn = true;
+    syn->seq = 0;
+    if (state_ == TcpState::kSynSent) {
+      syn->ack_flag = false;
+      syn->ack = 0;
+    }
+    emit(std::move(syn));
+    return;
+  }
+
+  // With SACK, retransmit the first scoreboard *hole* rather than blindly
+  // resending from snd_una (which the peer may already hold).
+  const std::uint64_t seq = config_.sack ? next_hole(snd_una_) : snd_una_;
+
+  auto seg = make_segment();
+  seg->seq = seq;
+  if (seq < data_end_seq()) {
+    auto len =
+        std::min<std::uint64_t>(config_.mss, data_end_seq() - seq);
+    if (config_.sack) {
+      // Do not run into the next peer-held block.
+      const auto it = sacked_.lower_bound(seq + 1);
+      if (it != sacked_.end() && it->first < seq + len) {
+        len = it->first - seq;
+      }
+    }
+    seg->payload_bytes = static_cast<std::uint32_t>(len);
+    seg->fin = fin_sent_ && seq + len == data_end_seq();
+  } else if (fin_sent_) {
+    seg->fin = true;
+  } else {
+    return;  // nothing outstanding to retransmit
+  }
+  emit(std::move(seg));
+}
+
+void TcpConnection::arm_rto() {
+  cancel_rto();
+  rto_timer_ = sim_.schedule(rtt_.rto(), [this] { on_rto(); });
+}
+
+void TcpConnection::cancel_rto() { rto_timer_.cancel(); }
+
+void TcpConnection::on_rto() {
+  if (state_ == TcpState::kClosed || state_ == TcpState::kTimeWait) return;
+  if (snd_nxt_ == snd_una_) return;  // stale timer, nothing outstanding
+
+  ++stats_.timeouts;
+  ++retries_;
+  rtt_.on_timeout();
+
+  if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
+    if (retries_ > config_.max_syn_retries) {
+      teardown(true);
+      return;
+    }
+    retransmit_front();
+    arm_rto();
+    return;
+  }
+
+  if (retries_ > config_.max_data_retries) {
+    teardown(true);
+    return;
+  }
+
+  cc_->on_timeout(sim_.now(), bytes_in_flight());
+  in_recovery_ = false;
+  recovery_inflation_ = 0;
+  dupacks_ = 0;
+
+  // Go-back-N: rewind snd_nxt and let try_send stream from the loss point
+  // under the collapsed window. (Linux uses SACK-based retransmission; the
+  // simplification only affects multi-loss tail behaviour.)
+  snd_nxt_ = snd_una_;
+  if (fin_sent_ && snd_nxt_ <= data_end_seq()) {
+    fin_sent_ = false;  // FIN will be re-attached when we reach it again
+    if (state_ == TcpState::kFinWait1) state_ = TcpState::kEstablished;
+    else if (state_ == TcpState::kLastAck) state_ = TcpState::kCloseWait;
+  }
+  ++stats_.retransmissions;
+  try_send();
+  arm_rto();
+}
+
+// --------------------------------------------------------------- receiver
+
+void TcpConnection::on_segment(const Segment& seg) {
+  if (state_ == TcpState::kClosed) return;
+  ++stats_.segments_received;
+
+  if (seg.rst) {
+    teardown(true);
+    return;
+  }
+
+  switch (state_) {
+    case TcpState::kSynSent: {
+      if (seg.syn && seg.ack_flag && seg.ack >= 1) {
+        tracker_ = ReceiveTracker(1);
+        snd_una_ = 1;
+        peer_rwnd_ = seg.window_bytes;
+        retries_ = 0;
+        cancel_rto();
+        if (probe_seq_end_ && snd_una_ >= *probe_seq_end_) {
+          rtt_.add_sample(sim_.now() - probe_sent_at_);
+          probe_seq_end_.reset();
+        }
+        enter_established();
+        send_ack_now();
+        try_send();
+      }
+      return;
+    }
+    case TcpState::kSynReceived: {
+      if (seg.syn && !seg.ack_flag) {
+        // Client retransmitted its SYN: our SYN-ACK was lost.
+        retransmit_front();
+        return;
+      }
+      if (seg.ack_flag && seg.ack >= 1) {
+        snd_una_ = std::max<std::uint64_t>(snd_una_, 1);
+        peer_rwnd_ = seg.window_bytes;
+        retries_ = 0;
+        cancel_rto();
+        if (probe_seq_end_ && snd_una_ >= *probe_seq_end_) {
+          rtt_.add_sample(sim_.now() - probe_sent_at_);
+          probe_seq_end_.reset();
+        }
+        enter_established();
+        // Fall through to normal processing for piggybacked payload/FIN.
+        if (seg.payload_bytes > 0) process_payload(seg);
+        if (seg.fin) process_fin(seg);
+        try_send();
+      }
+      return;
+    }
+    default:
+      break;
+  }
+
+  if (seg.syn && seg.ack_flag) {
+    // Peer retransmitted SYN-ACK: our handshake ACK was lost.
+    send_ack_now();
+    return;
+  }
+
+  if (seg.ack_flag) process_ack(seg);
+  if (seg.payload_bytes > 0) process_payload(seg);
+  if (seg.fin) process_fin(seg);
+}
+
+void TcpConnection::process_ack(const Segment& seg) {
+  if (seg.ack < snd_una_) return;  // stale
+  merge_sack_blocks(seg);
+
+  if (seg.ack == snd_una_) {
+    const bool is_dupack = snd_nxt_ > snd_una_ && seg.payload_bytes == 0 &&
+                           !seg.syn && !seg.fin;
+    if (!is_dupack) {
+      peer_rwnd_ = seg.window_bytes;
+      return;
+    }
+    ++stats_.duplicate_acks_received;
+    ++dupacks_;
+    peer_rwnd_ = seg.window_bytes;
+    if (!in_recovery_ && dupacks_ == config_.duplicate_ack_threshold) {
+      in_recovery_ = true;
+      recover_seq_ = snd_nxt_;
+      cc_->on_enter_recovery(sim_.now(), bytes_in_flight());
+      recovery_inflation_ =
+          std::uint64_t{config_.duplicate_ack_threshold} * config_.mss;
+      ++stats_.fast_retransmits;
+      retransmit_front();
+      arm_rto();
+    } else if (in_recovery_) {
+      recovery_inflation_ += config_.mss;
+      try_send();
+    }
+    return;
+  }
+
+  // New data acknowledged.
+  const std::uint64_t in_flight_before = bytes_in_flight();
+  const std::uint64_t acked = seg.ack - snd_una_;
+  snd_una_ = seg.ack;
+  purge_sacked_below(snd_una_);
+  peer_rwnd_ = seg.window_bytes;
+  dupacks_ = 0;
+  retries_ = 0;
+
+  std::optional<sim::Time> sample;
+  if (probe_seq_end_ && snd_una_ >= *probe_seq_end_) {
+    sample = sim_.now() - probe_sent_at_;
+    rtt_.add_sample(*sample);
+    probe_seq_end_.reset();
+  }
+
+  if (in_recovery_) {
+    if (seg.ack >= recover_seq_) {
+      in_recovery_ = false;
+      recovery_inflation_ = 0;
+      cc_->on_exit_recovery(sim_.now());
+    } else {
+      // NewReno partial ACK: retransmit the next hole, deflate, inflate by
+      // one MSS (RFC 6582 §3.2).
+      retransmit_front();
+      recovery_inflation_ -= std::min(recovery_inflation_, acked);
+      recovery_inflation_ += config_.mss;
+      arm_rto();
+    }
+  } else {
+    cc_->on_ack(AckEvent{sim_.now(), acked, in_flight_before, sample});
+  }
+
+  // Our FIN acknowledged?
+  if (fin_sent_ && snd_una_ >= data_end_seq() + 1) {
+    switch (state_) {
+      case TcpState::kFinWait1:
+        state_ = peer_fin_seq_ && tracker_.rcv_nxt() > *peer_fin_seq_
+                     ? TcpState::kTimeWait
+                     : TcpState::kFinWait2;
+        if (state_ == TcpState::kTimeWait) enter_time_wait();
+        break;
+      case TcpState::kClosing:
+        enter_time_wait();
+        break;
+      case TcpState::kLastAck:
+        teardown(false);
+        return;
+      default:
+        break;
+    }
+  }
+
+  if (bytes_in_flight() > 0) {
+    arm_rto();
+  } else {
+    cancel_rto();
+  }
+  try_send();
+}
+
+void TcpConnection::process_payload(const Segment& seg) {
+  window_opened_ = true;
+
+  std::uint64_t delivered =
+      tracker_.on_segment(seg.seq, seg.seq + seg.payload_bytes);
+
+  // The advance may have run through a previously buffered FIN.
+  bool fin_consumed_now = false;
+  if (peer_fin_seq_ && delivered > 0 && tracker_.rcv_nxt() > *peer_fin_seq_) {
+    --delivered;  // the FIN unit is not application data
+    fin_consumed_now = true;
+  }
+
+  if (delivered > 0 && callbacks_.on_data) callbacks_.on_data(delivered);
+
+  const bool out_of_order = tracker_.has_out_of_order() || delivered == 0;
+  if (out_of_order) {
+    send_ack_now();  // immediate (duplicate) ACK to drive fast retransmit
+  } else {
+    ++unacked_segments_;
+    if (unacked_segments_ >= config_.delayed_ack_segments) {
+      send_ack_now();
+    } else {
+      schedule_delayed_ack();
+    }
+  }
+
+  if (fin_consumed_now) process_fin_transition();
+}
+
+void TcpConnection::process_fin(const Segment& seg) {
+  const std::uint64_t fin_seq = seg.seq + seg.payload_bytes;
+  peer_fin_seq_ = fin_seq;
+  tracker_.on_segment(fin_seq, fin_seq + 1);
+  send_ack_now();
+  if (tracker_.rcv_nxt() > fin_seq) process_fin_transition();
+}
+
+void TcpConnection::process_fin_transition() {
+  switch (state_) {
+    case TcpState::kEstablished:
+      state_ = TcpState::kCloseWait;
+      if (callbacks_.on_peer_closed) callbacks_.on_peer_closed();
+      break;
+    case TcpState::kFinWait1:
+      // Our FIN not yet acked (otherwise we'd be in FIN-WAIT-2).
+      state_ = TcpState::kClosing;
+      if (callbacks_.on_peer_closed) callbacks_.on_peer_closed();
+      break;
+    case TcpState::kFinWait2:
+      if (callbacks_.on_peer_closed) callbacks_.on_peer_closed();
+      enter_time_wait();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace riptide::tcp

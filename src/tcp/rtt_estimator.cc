@@ -1,0 +1,38 @@
+#include "tcp/rtt_estimator.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace riptide::tcp {
+
+RttEstimator::RttEstimator(sim::Time initial_rto, sim::Time min_rto,
+                           sim::Time max_rto)
+    : initial_rto_(initial_rto), min_rto_(min_rto), max_rto_(max_rto) {}
+
+void RttEstimator::add_sample(sim::Time rtt) {
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+  } else {
+    // RFC 6298: alpha = 1/8, beta = 1/4, in integer nanoseconds.
+    const sim::Time err = sim::Time::nanoseconds(
+        std::abs((rtt - srtt_).ns()));
+    rttvar_ = (rttvar_ * 3 + err) / 4;
+    srtt_ = (srtt_ * 7 + rtt) / 8;
+  }
+  backoff_ = 0;  // Karn: fresh sample ends backoff
+}
+
+sim::Time RttEstimator::rto() const {
+  sim::Time base = has_sample_ ? srtt_ + 4 * rttvar_ : initial_rto_;
+  base = std::clamp(base, min_rto_, max_rto_);
+  for (std::uint32_t i = 0; i < backoff_ && base < max_rto_; ++i) {
+    base = std::min(base * 2, max_rto_);
+  }
+  return base;
+}
+
+void RttEstimator::on_timeout() { ++backoff_; }
+
+}  // namespace riptide::tcp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace riptide::tcp {
+
+// RTT estimation and retransmission-timeout computation per RFC 6298
+// (Jacobson/Karels smoothing, Karn's rule enforced by the caller feeding
+// only non-retransmitted samples).
+class RttEstimator {
+ public:
+  RttEstimator(sim::Time initial_rto, sim::Time min_rto, sim::Time max_rto);
+
+  // Feed one valid RTT sample (from a segment that was not retransmitted).
+  void add_sample(sim::Time rtt);
+
+  // Current timeout: clamped SRTT + 4 * RTTVAR, doubled `backoff` times.
+  sim::Time rto() const;
+
+  // Exponential backoff on timeout; resets once a fresh sample arrives.
+  void on_timeout();
+
+  bool has_sample() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+  std::uint32_t backoff_count() const { return backoff_; }
+
+ private:
+  sim::Time initial_rto_;
+  sim::Time min_rto_;
+  sim::Time max_rto_;
+  sim::Time srtt_;
+  sim::Time rttvar_;
+  bool has_sample_ = false;
+  std::uint32_t backoff_ = 0;
+};
+
+}  // namespace riptide::tcp

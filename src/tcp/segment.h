@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace riptide::tcp {
+
+// A TCP segment. Sequence numbers are 64-bit absolute byte offsets starting
+// from 0 on each side (no 32-bit wrap handling: simulated flows move far
+// less than 2^64 bytes, and wrap logic would only obscure the protocol
+// logic this reproduction cares about). Payload is represented by its length
+// only; the CDN workloads in this study are size-driven, not content-driven.
+struct Segment : net::Payload {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  std::uint64_t seq = 0;  // first payload byte (or the SYN/FIN itself)
+  std::uint64_t ack = 0;  // next byte expected by the sender of this segment
+
+  bool syn = false;
+  bool ack_flag = false;
+  bool fin = false;
+  bool rst = false;
+
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t window_bytes = 0;  // advertised receive window
+
+  // SACK option: up to 3 received-but-out-of-order ranges [start, end),
+  // most useful first. Empty when the peer has no holes (or SACK is off).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack_blocks;
+
+  // Sequence space consumed: payload plus one unit each for SYN and FIN.
+  std::uint64_t sequence_span() const {
+    return payload_bytes + (syn ? 1u : 0u) + (fin ? 1u : 0u);
+  }
+  std::uint64_t seq_end() const { return seq + sequence_span(); }
+
+  std::string flags_string() const {
+    std::string f;
+    if (syn) f += 'S';
+    if (ack_flag) f += 'A';
+    if (fin) f += 'F';
+    if (rst) f += 'R';
+    return f.empty() ? "." : f;
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << flags_string() << " seq=" << seq << " ack=" << ack
+       << " len=" << payload_bytes << " wnd=" << window_bytes;
+    return os.str();
+  }
+};
+
+}  // namespace riptide::tcp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "net/ipv4.h"
+
+namespace riptide::tcp {
+
+// Connection 4-tuple used for demultiplexing at a host.
+struct FourTuple {
+  net::Ipv4Address local_addr;
+  std::uint16_t local_port = 0;
+  net::Ipv4Address remote_addr;
+  std::uint16_t remote_port = 0;
+
+  friend auto operator<=>(const FourTuple&, const FourTuple&) = default;
+
+  std::string to_string() const {
+    std::ostringstream os;
+    os << local_addr << ":" << local_port << " -> " << remote_addr << ":"
+       << remote_port;
+    return os.str();
+  }
+};
+
+struct FourTupleHash {
+  std::size_t operator()(const FourTuple& t) const {
+    std::uint64_t h = t.local_addr.value();
+    h = h * 1000003u ^ t.remote_addr.value();
+    h = h * 1000003u ^ (std::uint64_t{t.local_port} << 16 | t.remote_port);
+    return std::hash<std::uint64_t>{}(h);
+  }
+};
+
+}  // namespace riptide::tcp

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "cdn/cache_fill.h"
+#include "cdn/lru_cache.h"
+#include "cdn/probe.h"
+#include "cdn/zipf.h"
+#include "core/agent.h"
+#include "test_util.h"
+
+namespace riptide::cdn {
+namespace {
+
+using riptide::test::TwoHostNet;
+using sim::Time;
+
+// ------------------------------------------------------------------- Zipf
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfDistribution zipf(100, 1.0);
+  double prev = 1.0;
+  for (std::size_t rank = 1; rank <= 100; ++rank) {
+    const double p = zipf.probability(rank);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfDistribution zipf(500, 0.8);
+  double sum = 0.0;
+  for (std::size_t rank = 1; rank <= 500; ++rank) {
+    sum += zipf.probability(rank);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (std::size_t rank = 1; rank <= 10; ++rank) {
+    EXPECT_NEAR(zipf.probability(rank), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, SamplesMatchAnalyticHead) {
+  ZipfDistribution zipf(1000, 1.0);
+  sim::Rng rng(5);
+  const int n = 100'000;
+  int rank1 = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto rank = zipf.sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+    if (rank == 1) ++rank1;
+  }
+  EXPECT_NEAR(static_cast<double>(rank1) / n, zipf.probability(1), 0.01);
+}
+
+TEST(ZipfTest, SingleElementAlwaysSampled) {
+  ZipfDistribution zipf(1, 1.2);
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+}
+
+TEST(ZipfTest, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfDistribution(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfTest, OutOfRangeProbabilityIsZero) {
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_DOUBLE_EQ(zipf.probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(zipf.probability(11), 0.0);
+}
+
+// --------------------------------------------------------------- LruCache
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(1000);
+  EXPECT_FALSE(cache.lookup(1));
+  cache.insert(1, 100);
+  EXPECT_TRUE(cache.lookup(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size_bytes(), 100u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(300);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.insert(3, 100);
+  cache.insert(4, 100);  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size_bytes(), 300u);
+}
+
+TEST(LruCacheTest, LookupPromotes) {
+  LruCache cache(300);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.insert(3, 100);
+  EXPECT_TRUE(cache.lookup(1));  // 1 becomes MRU; 2 is now LRU
+  cache.insert(4, 100);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(LruCacheTest, ReinsertUpdatesSize) {
+  LruCache cache(1000);
+  cache.insert(1, 100);
+  cache.insert(1, 300);
+  EXPECT_EQ(cache.size_bytes(), 300u);
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(LruCacheTest, OversizedObjectRejected) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.insert(1, 500));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(LruCacheTest, LargeInsertEvictsMany) {
+  LruCache cache(300);
+  cache.insert(1, 100);
+  cache.insert(2, 100);
+  cache.insert(3, 100);
+  cache.insert(4, 250);  // evicts 1, 2, 3 (250 + 100 > 300 twice)
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_LE(cache.size_bytes(), 300u);
+  EXPECT_GE(cache.evictions(), 2u);
+}
+
+TEST(LruCacheTest, HitRatio) {
+  LruCache cache(1000);
+  cache.insert(1, 10);
+  cache.lookup(1);
+  cache.lookup(1);
+  cache.lookup(2);
+  EXPECT_NEAR(cache.hit_ratio(), 2.0 / 3.0, 1e-12);
+  LruCache empty(10);
+  EXPECT_DOUBLE_EQ(empty.hit_ratio(), 0.0);
+}
+
+// -------------------------------------------------------- CacheFillWorkload
+
+CacheFillConfig small_workload() {
+  CacheFillConfig config;
+  config.mean_interarrival_seconds = 0.05;
+  config.catalog_size = 200;
+  config.zipf_exponent = 1.0;
+  config.cache_capacity_bytes = 4ull * 1024 * 1024;
+  return config;
+}
+
+TEST(CacheFillTest, ServesHitsAndFetchesMisses) {
+  TwoHostNet net(Time::milliseconds(40));
+  ProbeServer origin(net.b);
+  origin.start();
+  MetricsCollector metrics;
+  CacheFillWorkload workload(net.sim, net.a, 0, net.b, 1, 80.0,
+                             small_workload(), metrics, net.rng);
+  workload.start();
+  net.sim.run_until(Time::seconds(60));
+
+  EXPECT_GT(workload.requests(), 800u);
+  EXPECT_GT(workload.fetches_completed(), 20u);
+  // Zipf head + LRU: a meaningful share of requests must hit.
+  EXPECT_GT(workload.cache().hit_ratio(), 0.3);
+  EXPECT_LT(workload.cache().hit_ratio(), 0.99);
+  // Every completed fetch produced a flow record toward the origin.
+  EXPECT_EQ(metrics.flows().size(), workload.fetches_completed());
+  for (const auto& flow : metrics.flows()) {
+    EXPECT_EQ(flow.dst_pop, 1);
+    EXPECT_GT(flow.object_bytes, 0u);
+  }
+}
+
+TEST(CacheFillTest, ObjectSizesDeterministicPerId) {
+  TwoHostNet net(Time::milliseconds(40));
+  MetricsCollector metrics;
+  CacheFillWorkload w1(net.sim, net.a, 0, net.b, 1, 80.0, small_workload(),
+                       metrics, net.rng);
+  for (std::uint64_t id : {1ull, 7ull, 199ull}) {
+    EXPECT_EQ(w1.object_bytes(id), w1.object_bytes(id));
+    EXPECT_EQ(w1.object_bytes(id) % 1000, 0u);  // protocol granularity
+    EXPECT_GE(w1.object_bytes(id), 1000u);
+  }
+}
+
+TEST(CacheFillTest, CacheBoundedByCapacity) {
+  TwoHostNet net(Time::milliseconds(10));
+  ProbeServer origin(net.b);
+  origin.start();
+  MetricsCollector metrics;
+  auto config = small_workload();
+  config.cache_capacity_bytes = 1024 * 1024;
+  CacheFillWorkload workload(net.sim, net.a, 0, net.b, 1, 20.0, config,
+                             metrics, net.rng);
+  workload.start();
+  net.sim.run_until(Time::seconds(60));
+  EXPECT_LE(workload.cache().size_bytes(), config.cache_capacity_bytes);
+  EXPECT_GT(workload.cache().evictions(), 0u);
+}
+
+TEST(CacheFillTest, RiptideAcceleratesMissFetches) {
+  // Two identical cache-fill worlds, one with a Riptide agent pair. Misses
+  // are mostly fresh-connection fetches, so the learned windows shorten
+  // the miss path tail.
+  auto run = [](bool riptide) {
+    TwoHostNet net(Time::milliseconds(60));
+    ProbeServer origin(net.b);
+    origin.start();
+    MetricsCollector metrics;
+    auto config = small_workload();
+    config.mean_interarrival_seconds = 0.1;
+    CacheFillWorkload workload(net.sim, net.a, 0, net.b, 1, 120.0, config,
+                               metrics, net.rng);
+    std::unique_ptr<core::RiptideAgent> a1, a2;
+    if (riptide) {
+      a1 = std::make_unique<core::RiptideAgent>(net.sim, net.a,
+                                                core::RiptideConfig{});
+      a2 = std::make_unique<core::RiptideAgent>(net.sim, net.b,
+                                                core::RiptideConfig{});
+      a1->start();
+      a2->start();
+    }
+    workload.start();
+    net.sim.run_until(Time::minutes(3));
+    stats::Cdf big_fetches;
+    for (const auto& flow : metrics.flows()) {
+      if (flow.object_bytes >= 50'000) {
+        big_fetches.add(flow.duration.to_milliseconds());
+      }
+    }
+    return big_fetches;
+  };
+
+  const auto baseline = run(false);
+  const auto treated = run(true);
+  ASSERT_GT(baseline.count(), 10u);
+  ASSERT_GT(treated.count(), 10u);
+  EXPECT_LT(treated.percentile(75), baseline.percentile(75));
+}
+
+}  // namespace
+}  // namespace riptide::cdn

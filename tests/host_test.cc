@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "host/host.h"
+#include "host/routing_table.h"
+#include "test_util.h"
+
+namespace riptide::host {
+namespace {
+
+using riptide::test::TwoHostNet;
+using sim::Time;
+
+// ------------------------------------------------------------ RoutingTable
+
+class NullSink : public net::PacketSink {
+ public:
+  void receive(const net::Packet&) override {}
+};
+
+TEST(RoutingTableTest, LongestPrefixMatch) {
+  RoutingTable table;
+  NullSink wide, narrow, host;
+  table.add_or_replace(net::Prefix::parse("10.0.0.0/8"), wide);
+  table.add_or_replace(net::Prefix::parse("10.1.0.0/16"), narrow);
+  table.add_or_replace(net::Prefix::host(net::Ipv4Address(10, 1, 0, 7)), host);
+
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 2, 0, 1))->device, &wide);
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 1, 9, 9))->device, &narrow);
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 1, 0, 7))->device, &host);
+  EXPECT_EQ(table.lookup(net::Ipv4Address(192, 168, 0, 1)), nullptr);
+}
+
+TEST(RoutingTableTest, ReplaceUpdatesMetricsInPlace) {
+  RoutingTable table;
+  NullSink sink;
+  const auto p = net::Prefix::parse("10.0.0.0/8");
+  table.add_or_replace(p, sink, RouteMetrics{20, 0});
+  table.add_or_replace(p, sink, RouteMetrics{80, 120});
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 0, 0, 1))->metrics.initcwnd_segments,
+            80u);
+}
+
+TEST(RoutingTableTest, RemoveRestoresLessSpecific) {
+  RoutingTable table;
+  NullSink wide, host;
+  table.add_or_replace(net::Prefix::parse("0.0.0.0/0"), wide);
+  const auto specific = net::Prefix::host(net::Ipv4Address(10, 0, 0, 5));
+  table.add_or_replace(specific, host, RouteMetrics{50, 0});
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 0, 0, 5))->device, &host);
+  EXPECT_TRUE(table.remove(specific));
+  EXPECT_EQ(table.lookup(net::Ipv4Address(10, 0, 0, 5))->device, &wide);
+  EXPECT_FALSE(table.remove(specific));
+}
+
+TEST(RoutingTableTest, EffectiveWindowsFallBackWhenUnset) {
+  RoutingTable table;
+  NullSink sink;
+  table.add_or_replace(net::Prefix::parse("0.0.0.0/0"), sink);  // no metrics
+  const auto dst = net::Ipv4Address(10, 0, 0, 9);
+  EXPECT_EQ(table.effective_initcwnd(dst, 10), 10u);
+  EXPECT_EQ(table.effective_initrwnd(dst, 20), 20u);
+
+  table.add_or_replace(net::Prefix::host(dst), sink, RouteMetrics{70, 90});
+  EXPECT_EQ(table.effective_initcwnd(dst, 10), 70u);
+  EXPECT_EQ(table.effective_initrwnd(dst, 20), 90u);
+}
+
+TEST(RoutingTableTest, EffectiveWindowsForUnroutedDestination) {
+  RoutingTable table;
+  EXPECT_EQ(table.effective_initcwnd(net::Ipv4Address(1, 1, 1, 1), 10), 10u);
+}
+
+TEST(RoutingTableTest, HasRouteIsExactMatch) {
+  RoutingTable table;
+  NullSink sink;
+  table.add_or_replace(net::Prefix::parse("10.0.0.0/8"), sink);
+  EXPECT_TRUE(table.has_route(net::Prefix::parse("10.0.0.0/8")));
+  EXPECT_FALSE(table.has_route(net::Prefix::parse("10.0.0.0/16")));
+}
+
+// ------------------------------------------------------------------- Host
+
+TEST(HostTest, ConnectUsesRouteInitcwnd) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.a.routing_table().add_or_replace(
+      net::Prefix::host(net.b.address()),
+      *net.a.routing_table().lookup(net.b.address())->device,
+      RouteMetrics{64, 0});
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 80, std::move(cbs));
+  EXPECT_EQ(conn.config().initial_cwnd_segments, 64u);
+  EXPECT_EQ(conn.cwnd_segments(), 64u);
+}
+
+TEST(HostTest, ConnectUsesDefaultWithoutRouteMetrics) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 80, std::move(cbs));
+  EXPECT_EQ(conn.config().initial_cwnd_segments, 10u);
+}
+
+TEST(HostTest, OverrideConfigStillGetsRouteMetricsApplied) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.a.routing_table().add_or_replace(
+      net::Prefix::host(net.b.address()),
+      *net.a.routing_table().lookup(net.b.address())->device,
+      RouteMetrics{33, 44});
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConfig custom;
+  custom.congestion_control = tcp::CcAlgorithm::kNewReno;
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 80, std::move(cbs), custom);
+  EXPECT_EQ(conn.config().initial_cwnd_segments, 33u);
+  EXPECT_EQ(conn.config().initial_rwnd_segments, 44u);
+  EXPECT_EQ(conn.config().congestion_control, tcp::CcAlgorithm::kNewReno);
+}
+
+TEST(HostTest, EphemeralPortsDistinct) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs1, cbs2;
+  auto& c1 = net.a.connect(net.b.address(), 80, std::move(cbs1));
+  auto& c2 = net.a.connect(net.b.address(), 80, std::move(cbs2));
+  EXPECT_NE(c1.tuple().local_port, c2.tuple().local_port);
+}
+
+TEST(HostTest, SocketStatsReflectsLiveConnections) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs;
+  net.a.connect(net.b.address(), 80, std::move(cbs));
+  net.sim.run_until(Time::milliseconds(100));
+  const auto stats = net.a.socket_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].state, tcp::TcpState::kEstablished);
+  EXPECT_EQ(stats[0].tuple.remote_addr, net.b.address());
+  EXPECT_EQ(stats[0].cwnd_segments, 10u);
+  // Server side also sees its accepted connection.
+  EXPECT_EQ(net.b.socket_stats().size(), 1u);
+}
+
+TEST(HostTest, RstSentForSegmentToClosedPort) {
+  TwoHostNet net(Time::milliseconds(10));
+  tcp::TcpConnection::Callbacks cbs;
+  bool closed_reset = false;
+  cbs.on_closed = [&](bool reset) { closed_reset = reset; };
+  net.a.connect(net.b.address(), 4242, std::move(cbs));
+  net.sim.run_until(Time::milliseconds(100));
+  EXPECT_EQ(net.b.stats().rst_sent, 1u);
+  EXPECT_TRUE(closed_reset);
+  EXPECT_EQ(net.a.connection_count(), 0u);
+}
+
+TEST(HostTest, ListenRejectsDuplicatePort) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  EXPECT_THROW(net.b.listen(80, [](tcp::TcpConnection&) {}),
+               std::logic_error);
+}
+
+TEST(HostTest, CloseListenerStopsAccepting) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  net.b.close_listener(80);
+  tcp::TcpConnection::Callbacks cbs;
+  bool reset = false;
+  cbs.on_closed = [&](bool r) { reset = r; };
+  net.a.connect(net.b.address(), 80, std::move(cbs));
+  net.sim.run_until(Time::milliseconds(200));
+  EXPECT_TRUE(reset);
+}
+
+TEST(HostTest, CountersTrackOpensAndAccepts) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  for (int i = 0; i < 3; ++i) {
+    tcp::TcpConnection::Callbacks cbs;
+    net.a.connect(net.b.address(), 80, std::move(cbs));
+  }
+  net.sim.run_until(Time::milliseconds(200));
+  EXPECT_EQ(net.a.stats().connections_opened, 3u);
+  EXPECT_EQ(net.b.stats().connections_accepted, 3u);
+  EXPECT_GT(net.a.stats().packets_sent, 0u);
+  EXPECT_GT(net.b.stats().packets_received, 0u);
+}
+
+TEST(HostTest, FindConnectionByTuple) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 80, std::move(cbs));
+  EXPECT_EQ(net.a.find_connection(conn.tuple()), &conn);
+  tcp::FourTuple missing = conn.tuple();
+  missing.remote_port = 9999;
+  EXPECT_EQ(net.a.find_connection(missing), nullptr);
+}
+
+TEST(HostTest, ClosedConnectionsLeaveSocketStats) {
+  TwoHostNet net(Time::milliseconds(10));
+  net.b.listen(80, [](tcp::TcpConnection&) {});
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 80, std::move(cbs));
+  net.sim.run_until(Time::milliseconds(100));
+  conn.abort();
+  net.sim.run_until(Time::milliseconds(200));
+  EXPECT_TRUE(net.a.socket_stats().empty());
+  EXPECT_EQ(net.a.connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace riptide::host

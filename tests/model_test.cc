@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "model/transfer_model.h"
+
+namespace riptide::model {
+namespace {
+
+using sim::Time;
+
+ModelParams params(std::uint32_t iw, std::uint32_t mss = 1460) {
+  return ModelParams{mss, iw};
+}
+
+TEST(TransferModelTest, ZeroBytesTakeZeroRtts) {
+  EXPECT_EQ(rtts_for_transfer(0, params(10)), 0u);
+}
+
+TEST(TransferModelTest, OneSegmentTakesOneRtt) {
+  EXPECT_EQ(rtts_for_transfer(1, params(10)), 1u);
+  EXPECT_EQ(rtts_for_transfer(1460, params(10)), 1u);
+}
+
+TEST(TransferModelTest, DefaultWindowBoundaryAt15KB) {
+  // The paper's headline: IW10 carries ~15 KB (10 * 1460 = 14,600 B) in the
+  // first round trip; anything bigger pays at least one more RTT.
+  EXPECT_EQ(rtts_for_transfer(14'600, params(10)), 1u);
+  EXPECT_EQ(rtts_for_transfer(14'601, params(10)), 2u);
+  EXPECT_EQ(rtts_for_transfer(15'000, params(10)), 2u);
+}
+
+TEST(TransferModelTest, SlowStartDoublingSchedule) {
+  // IW10: cumulative segments per RTT are 10, 30, 70, 150, ...
+  EXPECT_EQ(rtts_for_transfer(30 * 1460, params(10)), 2u);
+  EXPECT_EQ(rtts_for_transfer(30 * 1460 + 1, params(10)), 3u);
+  EXPECT_EQ(rtts_for_transfer(70 * 1460, params(10)), 3u);
+  EXPECT_EQ(rtts_for_transfer(150 * 1460, params(10)), 4u);
+}
+
+TEST(TransferModelTest, PaperProbeSizes) {
+  // The probe sizes of §IV-A: 10 KB fits IW10; 50 KB needs 3 RTTs at IW10
+  // but 1 at IW50; 100 KB needs 4 at IW10 but 1 at IW100.
+  EXPECT_EQ(rtts_for_transfer(10'000, params(10)), 1u);
+  EXPECT_EQ(rtts_for_transfer(50'000, params(10)), 3u);
+  EXPECT_EQ(rtts_for_transfer(50'000, params(50)), 1u);
+  EXPECT_EQ(rtts_for_transfer(100'000, params(10)), 3u);  // 69 segs <= 70
+  EXPECT_EQ(rtts_for_transfer(100'000, params(100)), 1u);
+}
+
+TEST(TransferModelTest, MaxBytesInRttsIsGeometric) {
+  EXPECT_EQ(max_bytes_in_rtts(0, params(10)), 0u);
+  EXPECT_EQ(max_bytes_in_rtts(1, params(10)), 10u * 1460);
+  EXPECT_EQ(max_bytes_in_rtts(2, params(10)), 30u * 1460);
+  EXPECT_EQ(max_bytes_in_rtts(3, params(10)), 70u * 1460);
+}
+
+TEST(TransferModelTest, MaxBytesInverseOfRttsNeeded) {
+  for (std::uint32_t rtts = 1; rtts <= 8; ++rtts) {
+    const auto cap = max_bytes_in_rtts(rtts, params(10));
+    EXPECT_EQ(rtts_for_transfer(cap, params(10)), rtts);
+    EXPECT_EQ(rtts_for_transfer(cap + 1, params(10)), rtts + 1);
+  }
+}
+
+TEST(TransferModelTest, TransferTimeScalesWithRtt) {
+  const Time rtt = Time::milliseconds(125);
+  EXPECT_EQ(transfer_time(50'000, params(10), rtt), Time::milliseconds(375));
+  EXPECT_EQ(transfer_time(50'000, params(50), rtt), Time::milliseconds(125));
+  EXPECT_EQ(transfer_time(50'000, params(10), rtt, /*handshake=*/true),
+            Time::milliseconds(500));
+}
+
+TEST(TransferModelTest, RttReductionMatchesRttCounts) {
+  // 50 KB: 3 RTTs at IW10 vs 1 at IW50 -> reduction 2/3.
+  EXPECT_NEAR(rtt_reduction(50'000, 10, 50), 2.0 / 3.0, 1e-9);
+  // Small file: no reduction possible.
+  EXPECT_DOUBLE_EQ(rtt_reduction(1'000, 10, 100), 0.0);
+  EXPECT_DOUBLE_EQ(rtt_reduction(0, 10, 100), 0.0);
+}
+
+TEST(TransferModelTest, HugeFilesSeeDiminishingGains) {
+  // Fig 4: beyond ~1 MB, saving a constant number of RTTs matters less.
+  const double gain_100k = rtt_reduction(100'000, 10, 100);
+  const double gain_10m = rtt_reduction(10'000'000, 10, 100);
+  EXPECT_GT(gain_100k, 0.5);
+  EXPECT_LT(gain_10m, 0.45);
+}
+
+TEST(TransferModelTest, InvalidParamsThrow) {
+  EXPECT_THROW(rtts_for_transfer(1000, params(0)), std::invalid_argument);
+  EXPECT_THROW(rtts_for_transfer(1000, ModelParams{0, 10}),
+               std::invalid_argument);
+}
+
+TEST(TransferModelTest, VeryLargeTransferDoesNotOverflow) {
+  // 1 TB transfer must terminate with a sane RTT count.
+  const auto rtts = rtts_for_transfer(1'000'000'000'000ull, params(10));
+  EXPECT_GE(rtts, 20u);
+  EXPECT_LE(rtts, 40u);
+}
+
+// ---------------------------------------------------- property-style sweeps
+
+struct SweepCase {
+  std::uint64_t size;
+  std::uint32_t iw;
+};
+
+class ModelPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ModelPropertyTest, MoreAggressiveWindowNeverSlower) {
+  const auto& c = GetParam();
+  const auto base = rtts_for_transfer(c.size, params(c.iw));
+  const auto bigger = rtts_for_transfer(c.size, params(c.iw * 2));
+  EXPECT_LE(bigger, base);
+}
+
+TEST_P(ModelPropertyTest, RttsMonotoneInSize) {
+  const auto& c = GetParam();
+  const auto now = rtts_for_transfer(c.size, params(c.iw));
+  const auto larger = rtts_for_transfer(c.size * 2 + 1, params(c.iw));
+  EXPECT_GE(larger, now);
+}
+
+TEST_P(ModelPropertyTest, ReductionWithinUnitInterval) {
+  const auto& c = GetParam();
+  const double r = rtt_reduction(c.size, 10, c.iw);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST_P(ModelPropertyTest, SizeFitsWithinReportedRtts) {
+  const auto& c = GetParam();
+  const auto rtts = rtts_for_transfer(c.size, params(c.iw));
+  EXPECT_GE(max_bytes_in_rtts(rtts, params(c.iw)), c.size);
+  if (rtts > 0) {
+    EXPECT_LT(max_bytes_in_rtts(rtts - 1, params(c.iw)), c.size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeWindowSweep, ModelPropertyTest,
+    ::testing::Values(SweepCase{1'000, 10}, SweepCase{15'000, 10},
+                      SweepCase{50'000, 10}, SweepCase{100'000, 25},
+                      SweepCase{100'000, 50}, SweepCase{250'000, 50},
+                      SweepCase{1'000'000, 100}, SweepCase{5'000'000, 10},
+                      SweepCase{123, 100}, SweepCase{14'600, 10},
+                      SweepCase{14'601, 10}, SweepCase{2'920'000, 25}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "size" + std::to_string(info.param.size) + "_iw" +
+             std::to_string(info.param.iw);
+    });
+
+}  // namespace
+}  // namespace riptide::model

@@ -1,0 +1,131 @@
+// Whole-stack stress fuzzing: random application behaviour over lossy,
+// congested paths, checking global invariants — byte conservation, no
+// stuck connections, bounded state — rather than specific timings.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/agent.h"
+#include "test_util.h"
+
+namespace riptide {
+namespace {
+
+using riptide::test::TwoHostNet;
+using sim::Time;
+
+class StackStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StackStressTest, RandomWorkloadConservesBytesAndState) {
+  tcp::TcpConfig config;
+  // Exercise the optional machinery too, seed-dependently.
+  sim::Rng knob_rng(GetParam());
+  config.sack = knob_rng.bernoulli(0.5);
+  config.pacing = knob_rng.bernoulli(0.3);
+  config.congestion_control = knob_rng.bernoulli(0.5)
+                                  ? tcp::CcAlgorithm::kCubic
+                                  : tcp::CcAlgorithm::kNewReno;
+
+  TwoHostNet net(Time::milliseconds(25), 1e8, config, /*queue=*/64);
+  sim::Rng rng(GetParam() * 7919 + 3);
+  // Random loss both ways: a genuinely bad path.
+  net.filter_ab.set_drop_predicate(
+      [&](const net::Packet&) { return rng.bernoulli(0.01); });
+  net.filter_ba.set_drop_predicate(
+      [&](const net::Packet&) { return rng.bernoulli(0.01); });
+
+  std::uint64_t server_received = 0;
+  net.b.listen(80, [&](tcp::TcpConnection& conn) {
+    tcp::TcpConnection::Callbacks cbs;
+    cbs.on_data = [&](std::uint64_t n) { server_received += n; };
+    cbs.on_peer_closed = [&conn] { conn.close(); };
+    conn.set_callbacks(std::move(cbs));
+  });
+
+  // Riptide in the loop, learning from the chaos.
+  core::RiptideConfig agent_config;
+  core::RiptideAgent agent(net.sim, net.a, agent_config);
+  agent.start();
+
+  // Random op sequence: open, send, close, abort, idle.
+  struct Client {
+    tcp::TcpConnection* conn = nullptr;
+    std::uint64_t queued = 0;
+    bool gone = false;
+    bool reset = false;  // died by RST/abort (tail bytes may be lost)
+  };
+  std::deque<Client> clients;  // deque: stable addresses for callbacks
+
+  for (int op = 0; op < 120; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind <= 2 || clients.empty()) {  // open
+      clients.push_back(Client{});
+      auto& client = clients.back();
+      tcp::TcpConnection::Callbacks cbs;
+      cbs.on_closed = [&client](bool reset) {
+        client.gone = true;
+        client.reset = client.reset || reset;
+      };
+      client.conn = &net.a.connect(net.b.address(), 80, std::move(cbs));
+    } else {
+      auto& client = clients[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(clients.size()) - 1))];
+      if (client.gone || client.conn->closed()) continue;
+      if (kind <= 6) {  // send
+        if (!client.conn->close_requested()) {
+          const auto bytes =
+              static_cast<std::uint64_t>(rng.uniform_int(100, 120'000));
+          client.conn->send(bytes);
+          client.queued += bytes;
+        }
+      } else if (kind <= 8) {  // graceful close
+        client.conn->close();
+      } else {  // abort
+        client.reset = true;
+        client.conn->abort();
+      }
+    }
+    net.sim.run_until(net.sim.now() +
+                      Time::milliseconds(rng.uniform_int(10, 400)));
+  }
+
+  // Close everything and drain.
+  for (auto& client : clients) {
+    if (!client.gone && !client.conn->closed() &&
+        !client.conn->close_requested()) {
+      client.conn->close();
+    }
+  }
+  net.sim.run_until(net.sim.now() + Time::minutes(10));
+
+  // Invariant 1: every byte queued on a gracefully-closed connection
+  // arrived exactly once; reset connections may lose their tails but
+  // never duplicate.
+  std::uint64_t bytes_committed = 0;  // on connections that ended cleanly
+  std::uint64_t bytes_at_risk = 0;    // on reset connections
+  for (const auto& client : clients) {
+    (client.reset ? bytes_at_risk : bytes_committed) += client.queued;
+  }
+  EXPECT_GE(server_received, bytes_committed)
+      << "lost bytes on gracefully-closed connections";
+  EXPECT_LE(server_received, bytes_committed + bytes_at_risk)
+      << "duplicate delivery";
+
+  // Invariant 2: no connection state leaks once everything closed.
+  EXPECT_EQ(net.a.connection_count(), 0u);
+  EXPECT_EQ(net.b.connection_count(), 0u);
+
+  // Invariant 3: the agent survived and never programmed out of bounds.
+  for (const auto& [dst, state] : agent.table().entries()) {
+    EXPECT_GE(state.final_window_segments, 10.0);
+    EXPECT_LE(state.final_window_segments, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StackStressTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace riptide

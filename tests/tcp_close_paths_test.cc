@@ -1,0 +1,172 @@
+// Close-path edge cases: simultaneous close, FIN loss, passive close,
+// close-before-established, and abort timing.
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace riptide::tcp {
+namespace {
+
+using riptide::test::TwoHostNet;
+using sim::Time;
+
+struct Pair {
+  // `auto_close_server`: the passive side closes its half when it sees the
+  // peer's FIN (the normal server behaviour); disable to test half-close.
+  explicit Pair(TwoHostNet& net, bool auto_close_server = true) {
+    net.b.listen(80, [this, auto_close_server](TcpConnection& conn) {
+      server = &conn;
+      TcpConnection::Callbacks cbs;
+      cbs.on_closed = [this](bool r) {
+        server_closed = true;
+        server_reset = r;
+      };
+      cbs.on_peer_closed = [this, auto_close_server] {
+        server_saw_fin = true;
+        if (auto_close_server) server->close();
+      };
+      conn.set_callbacks(std::move(cbs));
+    });
+    TcpConnection::Callbacks cbs;
+    cbs.on_closed = [this](bool r) {
+      client_closed = true;
+      client_reset = r;
+    };
+    cbs.on_peer_closed = [this] { client_saw_fin = true; };
+    client = &net.a.connect(net.b.address(), 80, std::move(cbs));
+  }
+
+  TcpConnection* client = nullptr;
+  TcpConnection* server = nullptr;
+  bool client_closed = false, server_closed = false;
+  bool client_reset = false, server_reset = false;
+  bool client_saw_fin = false, server_saw_fin = false;
+};
+
+TEST(ClosePathsTest, SimultaneousCloseBothReachClosed) {
+  TwoHostNet net(Time::milliseconds(30));
+  Pair pair(net);
+  net.sim.run_until(Time::milliseconds(200));
+  ASSERT_TRUE(pair.client->established());
+  ASSERT_TRUE(pair.server->established());
+
+  // Both ends close in the same instant: FINs cross in flight.
+  pair.client->close();
+  pair.server->close();
+  net.sim.run_until(Time::seconds(20));
+
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_TRUE(pair.server_closed);
+  EXPECT_FALSE(pair.client_reset);
+  EXPECT_FALSE(pair.server_reset);
+  EXPECT_EQ(net.a.connection_count(), 0u);
+  EXPECT_EQ(net.b.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, LostFinIsRetransmitted) {
+  TwoHostNet net(Time::milliseconds(30));
+  Pair pair(net);
+  net.sim.run_until(Time::milliseconds(200));
+
+  // Drop the first FIN from the client.
+  int fins_dropped = 0;
+  net.filter_ab.set_drop_predicate([&](const net::Packet& p) {
+    const auto* seg = dynamic_cast<const Segment*>(p.payload.get());
+    if (seg != nullptr && seg->fin && fins_dropped < 1) {
+      ++fins_dropped;
+      return true;
+    }
+    return false;
+  });
+  pair.client->close();
+  net.sim.run_until(Time::seconds(30));
+  EXPECT_EQ(fins_dropped, 1);
+  EXPECT_TRUE(pair.server_saw_fin);
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_GE(pair.client->stats().retransmissions, 0u);  // torn down; no UB
+  EXPECT_EQ(net.a.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, ServerInitiatedClose) {
+  TwoHostNet net(Time::milliseconds(30));
+  Pair pair(net);
+  net.sim.run_until(Time::milliseconds(200));
+
+  pair.server->close();
+  net.sim.run_until(net.sim.now() + Time::milliseconds(200));
+  EXPECT_TRUE(pair.client_saw_fin);
+  EXPECT_EQ(pair.client->state(), TcpState::kCloseWait);
+  // Client can still send in CLOSE-WAIT (half-close semantics) ...
+  pair.client->send(5'000);
+  net.sim.run_until(net.sim.now() + Time::milliseconds(500));
+  EXPECT_EQ(pair.server->bytes_received(), 5'000u);
+  // ... and completes the close from its side.
+  pair.client->close();
+  net.sim.run_until(net.sim.now() + Time::seconds(20));
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_TRUE(pair.server_closed);
+  EXPECT_EQ(net.a.connection_count(), 0u);
+  EXPECT_EQ(net.b.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, CloseRequestedBeforeEstablishedStillHandshakes) {
+  TwoHostNet net(Time::milliseconds(50));
+  Pair pair(net);
+  pair.client->send(10'000);
+  pair.client->close();  // still in SYN-SENT
+  EXPECT_TRUE(pair.client->close_requested());
+  net.sim.run_until(Time::seconds(20));
+  // Handshake completes, queued data drains, FIN follows, all tears down.
+  EXPECT_EQ(pair.server->bytes_received(), 10'000u);
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_FALSE(pair.client_reset);
+  EXPECT_EQ(net.a.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, DoubleCloseIsIdempotent) {
+  TwoHostNet net(Time::milliseconds(10));
+  Pair pair(net);
+  net.sim.run_until(Time::milliseconds(100));
+  pair.client->close();
+  pair.client->close();  // no-op
+  net.sim.run_until(Time::seconds(10));
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_EQ(net.a.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, AbortAfterCloseStillTearsDownPeer) {
+  TwoHostNet net(Time::milliseconds(30));
+  Pair pair(net);
+  net.sim.run_until(Time::milliseconds(200));
+  pair.client->send(50'000);
+  pair.client->close();   // FIN pending behind 50 KB
+  pair.client->abort();   // impatient app gives up: RST
+  net.sim.run_until(Time::seconds(5));
+  EXPECT_TRUE(pair.client_closed);
+  EXPECT_TRUE(pair.client_reset);
+  EXPECT_TRUE(pair.server_closed);
+  EXPECT_TRUE(pair.server_reset);
+  EXPECT_EQ(net.b.connection_count(), 0u);
+}
+
+TEST(ClosePathsTest, DataArrivingAfterOurFinStillDelivered) {
+  TwoHostNet net(Time::milliseconds(30));
+  Pair pair(net, /*auto_close_server=*/false);
+  net.sim.run_until(Time::milliseconds(200));
+
+  std::uint64_t client_received = 0;
+  TcpConnection::Callbacks cbs;
+  cbs.on_data = [&](std::uint64_t n) { client_received += n; };
+  cbs.on_closed = [&](bool) {};
+  pair.client->set_callbacks(std::move(cbs));
+
+  pair.client->close();  // half-close: we're done sending, not receiving
+  net.sim.run_until(net.sim.now() + Time::milliseconds(100));
+  pair.server->send(20'000);  // server keeps talking into FIN-WAIT-2
+  net.sim.run_until(net.sim.now() + Time::seconds(5));
+  EXPECT_EQ(client_received, 20'000u);
+}
+
+}  // namespace
+}  // namespace riptide::tcp

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "host/host.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/segment.h"
+
+namespace riptide::test {
+
+// Pass-through packet sink that can drop or inspect packets, for
+// deterministic loss injection in TCP tests.
+class PacketFilter : public net::PacketSink {
+ public:
+  // Return true to DROP the packet.
+  using DropPredicate = std::function<bool(const net::Packet&)>;
+
+  explicit PacketFilter(net::PacketSink& next) : next_(next) {}
+
+  void set_drop_predicate(DropPredicate pred) { drop_ = std::move(pred); }
+
+  // Drops the next `n` packets carrying payload bytes.
+  void drop_next_data_packets(int n) {
+    remaining_data_drops_ = n;
+  }
+
+  void receive(const net::Packet& packet) override {
+    ++seen_;
+    if (remaining_data_drops_ > 0) {
+      const auto* seg =
+          dynamic_cast<const tcp::Segment*>(packet.payload.get());
+      if (seg != nullptr && seg->payload_bytes > 0) {
+        --remaining_data_drops_;
+        ++dropped_;
+        return;
+      }
+    }
+    if (drop_ && drop_(packet)) {
+      ++dropped_;
+      return;
+    }
+    next_.receive(packet);
+  }
+
+  int seen() const { return seen_; }
+  int dropped() const { return dropped_; }
+
+ private:
+  net::PacketSink& next_;
+  DropPredicate drop_;
+  int remaining_data_drops_ = 0;
+  int seen_ = 0;
+  int dropped_ = 0;
+};
+
+// Two hosts joined by a symmetric pair of links, with loss-injection
+// filters in both directions:
+//   a --[filter_ab]--[link_ab]--> b     b --[filter_ba]--[link_ba]--> a
+struct TwoHostNet {
+  explicit TwoHostNet(sim::Time one_way_delay = sim::Time::milliseconds(50),
+                      double rate_bps = 1e9,
+                      tcp::TcpConfig config = tcp::TcpConfig{},
+                      std::size_t queue_packets = 1024)
+      : rng(42),
+        a(sim, "a", net::Ipv4Address(10, 0, 0, 1), config),
+        b(sim, "b", net::Ipv4Address(10, 0, 0, 2), config),
+        link_ab(sim,
+                net::Link::Config{rate_bps, one_way_delay, queue_packets, 0.0,
+                                  "ab"},
+                b, &rng),
+        link_ba(sim,
+                net::Link::Config{rate_bps, one_way_delay, queue_packets, 0.0,
+                                  "ba"},
+                a, &rng),
+        filter_ab(link_ab),
+        filter_ba(link_ba) {
+    a.attach_uplink(filter_ab);
+    b.attach_uplink(filter_ba);
+  }
+
+  sim::Simulator sim;
+  sim::Rng rng;
+  host::Host a;
+  host::Host b;
+  net::Link link_ab;
+  net::Link link_ba;
+  PacketFilter filter_ab;
+  PacketFilter filter_ba;
+};
+
+}  // namespace riptide::test

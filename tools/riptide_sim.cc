@@ -1,0 +1,182 @@
+// riptide_sim — command-line front end for the simulated CDN.
+//
+// Runs the probe-mesh experiment on a configurable slice of the global
+// topology and prints a summary: learned windows, probe completion
+// percentiles per size, and agent counters. Handy for parameter
+// exploration without writing C++.
+//
+// Usage:
+//   riptide_sim [--pops N] [--hosts N] [--duration SECONDS] [--seed S]
+//               [--riptide 0|1] [--cmax N] [--cmin N] [--alpha F]
+//               [--interval SECONDS] [--ttl SECONDS]
+//               [--combiner avg|max|weighted] [--prefix-granularity]
+//               [--probe-interval SECONDS] [--wan-loss P] [--organic POP]
+//               [--pacing]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cdn/experiment.h"
+#include "cdn/pops.h"
+
+using namespace riptide;
+
+namespace {
+
+struct Options {
+  std::size_t pops = 8;
+  int hosts = 1;
+  double duration_s = 120;
+  std::uint64_t seed = 1;
+  bool riptide = true;
+  cdn::ExperimentConfig config;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--pops N] [--hosts N] [--duration S] [--seed S]\n"
+               "  [--riptide 0|1] [--cmax N] [--cmin N] [--alpha F]\n"
+               "  [--interval S] [--ttl S] [--combiner avg|max|weighted]\n"
+               "  [--prefix-granularity] [--probe-interval S]\n"
+               "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--pops") {
+      opt.pops = static_cast<std::size_t>(std::atoi(need_value(i)));
+    } else if (arg == "--hosts") {
+      opt.hosts = std::atoi(need_value(i));
+    } else if (arg == "--duration") {
+      opt.duration_s = std::atof(need_value(i));
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (arg == "--riptide") {
+      opt.riptide = std::atoi(need_value(i)) != 0;
+    } else if (arg == "--cmax") {
+      opt.config.riptide.c_max =
+          static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--cmin") {
+      opt.config.riptide.c_min =
+          static_cast<std::uint32_t>(std::atoi(need_value(i)));
+    } else if (arg == "--alpha") {
+      opt.config.riptide.alpha = std::atof(need_value(i));
+    } else if (arg == "--interval") {
+      opt.config.riptide.update_interval =
+          sim::Time::from_seconds(std::atof(need_value(i)));
+    } else if (arg == "--ttl") {
+      opt.config.riptide.ttl =
+          sim::Time::from_seconds(std::atof(need_value(i)));
+    } else if (arg == "--combiner") {
+      const std::string kind = need_value(i);
+      if (kind == "avg") {
+        opt.config.riptide.combiner = core::CombinerKind::kAverage;
+      } else if (kind == "max") {
+        opt.config.riptide.combiner = core::CombinerKind::kMax;
+      } else if (kind == "weighted") {
+        opt.config.riptide.combiner = core::CombinerKind::kTrafficWeighted;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--prefix-granularity") {
+      opt.config.riptide.granularity = core::Granularity::kPrefix;
+      opt.config.riptide.prefix_length = 16;
+    } else if (arg == "--probe-interval") {
+      opt.config.probe.interval =
+          sim::Time::from_seconds(std::atof(need_value(i)));
+    } else if (arg == "--wan-loss") {
+      opt.config.topology.wan_loss_probability = std::atof(need_value(i));
+    } else if (arg == "--organic") {
+      opt.config.organic_source_pops.push_back(
+          static_cast<std::size_t>(std::atoi(need_value(i))));
+    } else if (arg == "--pacing") {
+      opt.config.topology.host_tcp.pacing = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse(argc, argv);
+
+  const auto& all_specs = cdn::default_pop_specs();
+  if (opt.pops < 2 || opt.pops > all_specs.size()) {
+    std::fprintf(stderr, "--pops must be in [2, %zu]\n", all_specs.size());
+    return 2;
+  }
+  opt.config.pop_specs.assign(all_specs.begin(),
+                              all_specs.begin() +
+                                  static_cast<std::ptrdiff_t>(opt.pops));
+  opt.config.topology.hosts_per_pop = opt.hosts;
+  opt.config.riptide_enabled = opt.riptide;
+  opt.config.duration = sim::Time::from_seconds(opt.duration_s);
+  opt.config.seed = opt.seed;
+
+  std::printf("riptide_sim: %zu PoPs x %d hosts, %.0f s simulated, "
+              "riptide=%s, seed=%llu\n",
+              opt.pops, opt.hosts, opt.duration_s,
+              opt.riptide ? "on" : "off",
+              static_cast<unsigned long long>(opt.seed));
+
+  cdn::Experiment exp(opt.config);
+  exp.run();
+
+  std::printf("\nprobe completion times (ms), all sources:\n");
+  std::printf("  %8s %10s %10s %10s %10s\n", "size", "p50", "p75", "p90",
+              "n");
+  for (std::uint64_t size : {10'000u, 50'000u, 100'000u}) {
+    const auto cdf = exp.metrics().completion_cdf(
+        [=](const cdn::FlowRecord& f) { return f.object_bytes == size; });
+    if (cdf.empty()) continue;
+    std::printf("  %6lluKB %10.0f %10.0f %10.0f %10zu\n",
+                static_cast<unsigned long long>(size / 1000),
+                cdf.percentile(50), cdf.percentile(75), cdf.percentile(90),
+                cdf.count());
+  }
+
+  const auto cwnd = exp.metrics().cwnd_cdf();
+  if (!cwnd.empty()) {
+    std::printf("\nsampled congestion windows (segments): p25=%.0f p50=%.0f "
+                "p75=%.0f p90=%.0f (n=%zu)\n",
+                cwnd.percentile(25), cwnd.percentile(50),
+                cwnd.percentile(75), cwnd.percentile(90), cwnd.count());
+  }
+
+  if (!exp.agents().empty()) {
+    std::uint64_t polls = 0, routes = 0, expired = 0;
+    std::size_t entries = 0;
+    for (const auto& agent : exp.agents()) {
+      polls += agent->stats().polls;
+      routes += agent->stats().routes_set;
+      expired += agent->stats().routes_expired;
+      entries += agent->table().size();
+    }
+    std::printf("\nagents: %zu, polls: %llu, routes set: %llu, expired: "
+                "%llu, live table entries: %zu\n",
+                exp.agents().size(), static_cast<unsigned long long>(polls),
+                static_cast<unsigned long long>(routes),
+                static_cast<unsigned long long>(expired), entries);
+
+    std::printf("\nlearned windows at %s:\n",
+                exp.topology().host(0, 0).name().c_str());
+    for (const auto& [dst, state] : exp.agents().front()->table().entries()) {
+      std::printf("  %-18s -> %5.1f segments\n", dst.to_string().c_str(),
+                  state.final_window_segments);
+    }
+  }
+  return 0;
+}
