@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_traffic_profile.dir/bench_fig11_traffic_profile.cc.o"
+  "CMakeFiles/bench_fig11_traffic_profile.dir/bench_fig11_traffic_profile.cc.o.d"
+  "bench_fig11_traffic_profile"
+  "bench_fig11_traffic_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_traffic_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

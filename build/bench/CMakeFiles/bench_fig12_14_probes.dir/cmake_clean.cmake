@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_14_probes.dir/bench_fig12_14_probes.cc.o"
+  "CMakeFiles/bench_fig12_14_probes.dir/bench_fig12_14_probes.cc.o.d"
+  "bench_fig12_14_probes"
+  "bench_fig12_14_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_14_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_percentile.dir/bench_fig15_16_percentile.cc.o"
+  "CMakeFiles/bench_fig15_16_percentile.dir/bench_fig15_16_percentile.cc.o.d"
+  "bench_fig15_16_percentile"
+  "bench_fig15_16_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

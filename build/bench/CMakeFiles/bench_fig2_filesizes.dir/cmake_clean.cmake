@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_filesizes.dir/bench_fig2_filesizes.cc.o"
+  "CMakeFiles/bench_fig2_filesizes.dir/bench_fig2_filesizes.cc.o.d"
+  "bench_fig2_filesizes"
+  "bench_fig2_filesizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_filesizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

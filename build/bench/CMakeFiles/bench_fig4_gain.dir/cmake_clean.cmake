@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gain.dir/bench_fig4_gain.cc.o"
+  "CMakeFiles/bench_fig4_gain.dir/bench_fig4_gain.cc.o.d"
+  "bench_fig4_gain"
+  "bench_fig4_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rtts.dir/bench_fig5_rtts.cc.o"
+  "CMakeFiles/bench_fig5_rtts.dir/bench_fig5_rtts.cc.o.d"
+  "bench_fig5_rtts"
+  "bench_fig5_rtts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rtts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

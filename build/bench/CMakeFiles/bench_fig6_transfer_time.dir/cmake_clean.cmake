@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_transfer_time.dir/bench_fig6_transfer_time.cc.o"
+  "CMakeFiles/bench_fig6_transfer_time.dir/bench_fig6_transfer_time.cc.o.d"
+  "bench_fig6_transfer_time"
+  "bench_fig6_transfer_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_transfer_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

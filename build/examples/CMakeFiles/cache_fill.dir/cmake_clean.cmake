@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_fill.dir/cache_fill.cpp.o"
+  "CMakeFiles/cache_fill.dir/cache_fill.cpp.o.d"
+  "cache_fill"
+  "cache_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

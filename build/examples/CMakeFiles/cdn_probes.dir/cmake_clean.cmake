@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_probes.dir/cdn_probes.cpp.o"
+  "CMakeFiles/cdn_probes.dir/cdn_probes.cpp.o.d"
+  "cdn_probes"
+  "cdn_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cdn_probes.
+# This may be replaced when dependencies are built.

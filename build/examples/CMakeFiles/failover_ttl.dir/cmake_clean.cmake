@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_ttl.dir/failover_ttl.cpp.o"
+  "CMakeFiles/failover_ttl.dir/failover_ttl.cpp.o.d"
+  "failover_ttl"
+  "failover_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefix_granularity.dir/prefix_granularity.cpp.o"
+  "CMakeFiles/prefix_granularity.dir/prefix_granularity.cpp.o.d"
+  "prefix_granularity"
+  "prefix_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefix_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/cache_fill.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/cache_fill.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/cache_fill.cc.o.d"
+  "/root/repo/src/cdn/experiment.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/experiment.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/experiment.cc.o.d"
+  "/root/repo/src/cdn/file_size_dist.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/file_size_dist.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/file_size_dist.cc.o.d"
+  "/root/repo/src/cdn/geo.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/geo.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/geo.cc.o.d"
+  "/root/repo/src/cdn/metrics.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/metrics.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/metrics.cc.o.d"
+  "/root/repo/src/cdn/pops.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/pops.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/pops.cc.o.d"
+  "/root/repo/src/cdn/probe.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/probe.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/probe.cc.o.d"
+  "/root/repo/src/cdn/topology.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/topology.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/topology.cc.o.d"
+  "/root/repo/src/cdn/traffic.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/traffic.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/traffic.cc.o.d"
+  "/root/repo/src/cdn/zipf.cc" "src/cdn/CMakeFiles/riptide_cdn.dir/zipf.cc.o" "gcc" "src/cdn/CMakeFiles/riptide_cdn.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/riptide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/riptide_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riptide_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/riptide_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/riptide_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riptide_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riptide_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_cdn.dir/cache_fill.cc.o"
+  "CMakeFiles/riptide_cdn.dir/cache_fill.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/experiment.cc.o"
+  "CMakeFiles/riptide_cdn.dir/experiment.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/file_size_dist.cc.o"
+  "CMakeFiles/riptide_cdn.dir/file_size_dist.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/geo.cc.o"
+  "CMakeFiles/riptide_cdn.dir/geo.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/metrics.cc.o"
+  "CMakeFiles/riptide_cdn.dir/metrics.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/pops.cc.o"
+  "CMakeFiles/riptide_cdn.dir/pops.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/probe.cc.o"
+  "CMakeFiles/riptide_cdn.dir/probe.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/topology.cc.o"
+  "CMakeFiles/riptide_cdn.dir/topology.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/traffic.cc.o"
+  "CMakeFiles/riptide_cdn.dir/traffic.cc.o.d"
+  "CMakeFiles/riptide_cdn.dir/zipf.cc.o"
+  "CMakeFiles/riptide_cdn.dir/zipf.cc.o.d"
+  "libriptide_cdn.a"
+  "libriptide_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_core.dir/agent.cc.o"
+  "CMakeFiles/riptide_core.dir/agent.cc.o.d"
+  "CMakeFiles/riptide_core.dir/combiner.cc.o"
+  "CMakeFiles/riptide_core.dir/combiner.cc.o.d"
+  "CMakeFiles/riptide_core.dir/observed_table.cc.o"
+  "CMakeFiles/riptide_core.dir/observed_table.cc.o.d"
+  "CMakeFiles/riptide_core.dir/route_programmer.cc.o"
+  "CMakeFiles/riptide_core.dir/route_programmer.cc.o.d"
+  "libriptide_core.a"
+  "libriptide_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

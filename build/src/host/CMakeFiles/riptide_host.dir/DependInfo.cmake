@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/host.cc" "src/host/CMakeFiles/riptide_host.dir/host.cc.o" "gcc" "src/host/CMakeFiles/riptide_host.dir/host.cc.o.d"
+  "/root/repo/src/host/routing_table.cc" "src/host/CMakeFiles/riptide_host.dir/routing_table.cc.o" "gcc" "src/host/CMakeFiles/riptide_host.dir/routing_table.cc.o.d"
+  "/root/repo/src/host/ss_format.cc" "src/host/CMakeFiles/riptide_host.dir/ss_format.cc.o" "gcc" "src/host/CMakeFiles/riptide_host.dir/ss_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/riptide_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riptide_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riptide_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

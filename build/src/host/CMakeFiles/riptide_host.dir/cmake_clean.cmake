@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_host.dir/host.cc.o"
+  "CMakeFiles/riptide_host.dir/host.cc.o.d"
+  "CMakeFiles/riptide_host.dir/routing_table.cc.o"
+  "CMakeFiles/riptide_host.dir/routing_table.cc.o.d"
+  "CMakeFiles/riptide_host.dir/ss_format.cc.o"
+  "CMakeFiles/riptide_host.dir/ss_format.cc.o.d"
+  "libriptide_host.a"
+  "libriptide_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_model.dir/transfer_model.cc.o"
+  "CMakeFiles/riptide_model.dir/transfer_model.cc.o.d"
+  "libriptide_model.a"
+  "libriptide_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/riptide_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/riptide_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/riptide_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/riptide_net.dir/link.cc.o.d"
+  "/root/repo/src/net/router.cc" "src/net/CMakeFiles/riptide_net.dir/router.cc.o" "gcc" "src/net/CMakeFiles/riptide_net.dir/router.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/riptide_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_net.dir/ipv4.cc.o"
+  "CMakeFiles/riptide_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/riptide_net.dir/link.cc.o"
+  "CMakeFiles/riptide_net.dir/link.cc.o.d"
+  "CMakeFiles/riptide_net.dir/router.cc.o"
+  "CMakeFiles/riptide_net.dir/router.cc.o.d"
+  "libriptide_net.a"
+  "libriptide_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

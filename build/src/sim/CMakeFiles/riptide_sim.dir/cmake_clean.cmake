@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_sim.dir/random.cc.o"
+  "CMakeFiles/riptide_sim.dir/random.cc.o.d"
+  "CMakeFiles/riptide_sim.dir/simulator.cc.o"
+  "CMakeFiles/riptide_sim.dir/simulator.cc.o.d"
+  "libriptide_sim.a"
+  "libriptide_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

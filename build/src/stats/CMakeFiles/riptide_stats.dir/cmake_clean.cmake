@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_stats.dir/cdf.cc.o"
+  "CMakeFiles/riptide_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/riptide_stats.dir/histogram.cc.o"
+  "CMakeFiles/riptide_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/riptide_stats.dir/summary.cc.o"
+  "CMakeFiles/riptide_stats.dir/summary.cc.o.d"
+  "libriptide_stats.a"
+  "libriptide_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

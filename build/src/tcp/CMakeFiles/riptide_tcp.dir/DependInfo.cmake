@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/congestion_control.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/congestion_control.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/congestion_control.cc.o.d"
+  "/root/repo/src/tcp/connection.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/connection.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/connection.cc.o.d"
+  "/root/repo/src/tcp/cubic.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/cubic.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/cubic.cc.o.d"
+  "/root/repo/src/tcp/receive_tracker.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/receive_tracker.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/receive_tracker.cc.o.d"
+  "/root/repo/src/tcp/reno.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/reno.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/reno.cc.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cc" "src/tcp/CMakeFiles/riptide_tcp.dir/rtt_estimator.cc.o" "gcc" "src/tcp/CMakeFiles/riptide_tcp.dir/rtt_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/riptide_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riptide_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_tcp.dir/congestion_control.cc.o"
+  "CMakeFiles/riptide_tcp.dir/congestion_control.cc.o.d"
+  "CMakeFiles/riptide_tcp.dir/connection.cc.o"
+  "CMakeFiles/riptide_tcp.dir/connection.cc.o.d"
+  "CMakeFiles/riptide_tcp.dir/cubic.cc.o"
+  "CMakeFiles/riptide_tcp.dir/cubic.cc.o.d"
+  "CMakeFiles/riptide_tcp.dir/receive_tracker.cc.o"
+  "CMakeFiles/riptide_tcp.dir/receive_tracker.cc.o.d"
+  "CMakeFiles/riptide_tcp.dir/reno.cc.o"
+  "CMakeFiles/riptide_tcp.dir/reno.cc.o.d"
+  "CMakeFiles/riptide_tcp.dir/rtt_estimator.cc.o"
+  "CMakeFiles/riptide_tcp.dir/rtt_estimator.cc.o.d"
+  "libriptide_tcp.a"
+  "libriptide_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

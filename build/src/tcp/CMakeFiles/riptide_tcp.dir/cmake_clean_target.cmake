@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libriptide_tcp.a"
+)

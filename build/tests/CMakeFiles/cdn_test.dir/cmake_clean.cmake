@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdn_test.dir/cdn_test.cc.o"
+  "CMakeFiles/cdn_test.dir/cdn_test.cc.o.d"
+  "cdn_test"
+  "cdn_test.pdb"
+  "cdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

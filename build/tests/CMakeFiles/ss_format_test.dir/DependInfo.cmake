@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ss_format_test.cc" "tests/CMakeFiles/ss_format_test.dir/ss_format_test.cc.o" "gcc" "tests/CMakeFiles/ss_format_test.dir/ss_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/riptide_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/riptide_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/riptide_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/riptide_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/riptide_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/riptide_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/riptide_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/riptide_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_format_test.dir/ss_format_test.cc.o"
+  "CMakeFiles/ss_format_test.dir/ss_format_test.cc.o.d"
+  "ss_format_test"
+  "ss_format_test.pdb"
+  "ss_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_close_paths_test.dir/tcp_close_paths_test.cc.o"
+  "CMakeFiles/tcp_close_paths_test.dir/tcp_close_paths_test.cc.o.d"
+  "tcp_close_paths_test"
+  "tcp_close_paths_test.pdb"
+  "tcp_close_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_close_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

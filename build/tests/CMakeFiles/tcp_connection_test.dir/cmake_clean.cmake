@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_connection_test.dir/tcp_connection_test.cc.o"
+  "CMakeFiles/tcp_connection_test.dir/tcp_connection_test.cc.o.d"
+  "tcp_connection_test"
+  "tcp_connection_test.pdb"
+  "tcp_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

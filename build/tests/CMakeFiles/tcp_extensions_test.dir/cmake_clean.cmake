@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_extensions_test.dir/tcp_extensions_test.cc.o"
+  "CMakeFiles/tcp_extensions_test.dir/tcp_extensions_test.cc.o.d"
+  "tcp_extensions_test"
+  "tcp_extensions_test.pdb"
+  "tcp_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

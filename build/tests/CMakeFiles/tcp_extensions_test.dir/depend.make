@@ -1,0 +1,2 @@
+# Empty dependencies file for tcp_extensions_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_sack_test.dir/tcp_sack_test.cc.o"
+  "CMakeFiles/tcp_sack_test.dir/tcp_sack_test.cc.o.d"
+  "tcp_sack_test"
+  "tcp_sack_test.pdb"
+  "tcp_sack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_sack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_unit_test.dir/tcp_unit_test.cc.o"
+  "CMakeFiles/tcp_unit_test.dir/tcp_unit_test.cc.o.d"
+  "tcp_unit_test"
+  "tcp_unit_test.pdb"
+  "tcp_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

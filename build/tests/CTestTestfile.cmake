@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/host_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/cdn_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/probe_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_fill_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sack_test[1]_include.cmake")
+include("/root/repo/build/tests/ss_format_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_close_paths_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riptide_sim_cli.dir/riptide_sim.cc.o"
+  "CMakeFiles/riptide_sim_cli.dir/riptide_sim.cc.o.d"
+  "riptide_sim"
+  "riptide_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riptide_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

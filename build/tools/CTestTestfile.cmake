@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(riptide_sim_cli_smoke "/root/repo/build/tools/riptide_sim" "--pops" "3" "--duration" "20" "--seed" "3")
+set_tests_properties(riptide_sim_cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(riptide_sim_cli_variants "/root/repo/build/tools/riptide_sim" "--pops" "3" "--duration" "20" "--riptide" "1" "--combiner" "max" "--prefix-granularity" "--pacing" "--cmax" "60")
+set_tests_properties(riptide_sim_cli_variants PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(riptide_sim_cli_bad_flag "/root/repo/build/tools/riptide_sim" "--bogus")
+set_tests_properties(riptide_sim_cli_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
