@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "cdn/experiment.h"
+#include "runner/parallel_runner.h"
 #include "bench_util.h"
 
 using namespace riptide;
@@ -23,10 +24,8 @@ struct Variant {
   cdn::ExperimentConfig config;
 };
 
-void run_and_report(const Variant& variant) {
-  cdn::Experiment exp(variant.config);
-  exp.run();
-  const int src = bench::find_pop(variant.config.pop_specs, "lon");
+void report(const std::string& name, const cdn::Experiment& exp) {
+  const int src = bench::find_pop(exp.config().pop_specs, "lon");
   const auto cwnd = exp.metrics().cwnd_cdf();
   const auto probes = exp.probe_cdf(src, 100'000, -1, /*fresh_only=*/true);
 
@@ -41,14 +40,15 @@ void run_and_report(const Variant& variant) {
           ? 0.0
           : static_cast<double>(table_entries) /
                 static_cast<double>(exp.agents().size());
-  std::printf("%-30s  %12.0f  %16.0f  %14.1f\n", variant.name.c_str(),
+  std::printf("%-30s  %12.0f  %16.0f  %14.1f\n", name.c_str(),
               cwnd.empty() ? 0.0 : cwnd.percentile(50),
               probes.empty() ? 0.0 : probes.percentile(50), per_agent);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
   std::printf("Ablation: Riptide design variants (3 min simulated runs)\n");
   bench::print_rule();
   std::printf("%-30s  %12s  %16s  %14s\n", "variant", "cwnd p50",
@@ -115,7 +115,19 @@ int main() {
     variants.push_back(v);
   }
 
-  for (const auto& variant : variants) run_and_report(variant);
+  // All variants are independent: fan them across the worker pool and
+  // report in declaration order.
+  std::vector<runner::RunSpec> specs;
+  specs.reserve(variants.size());
+  for (auto& variant : variants) {
+    specs.push_back(
+        runner::RunSpec{std::move(variant.name), std::move(variant.config),
+                        nullptr});
+  }
+  for (const auto& result :
+       runner::ParallelRunner(opt.threads).run(std::move(specs))) {
+    report(result.label, *result.experiment);
+  }
 
   bench::print_rule();
   std::printf("expected: combiners converge to similar steady windows on "

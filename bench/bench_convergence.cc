@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cdn/experiment.h"
+#include "runner/parallel_runner.h"
 #include "bench_util.h"
 
 using namespace riptide;
@@ -24,47 +25,53 @@ struct Series {
   std::vector<double> mean_window;  // one point per 15 s
 };
 
-Series run_variant(const std::string& label, double alpha,
-                   core::CombinerKind combiner) {
+// The sampler rides along inside each experiment via the RunSpec setup
+// hook: it runs on the worker that owns the experiment and writes only to
+// this variant's Series slot, so variants stay independent.
+runner::RunSpec make_variant(Series& series, double alpha,
+                             core::CombinerKind combiner) {
   auto config = bench::paper_world(/*riptide=*/true);
   config.riptide.alpha = alpha;
   config.riptide.combiner = combiner;
   config.duration = sim::Time::minutes(3);
 
-  cdn::Experiment exp(config);
-  Series series{label, {}};
-  exp.simulator().schedule_periodic(
-      sim::Time::seconds(15), sim::Time::seconds(15), [&] {
-        double sum = 0.0;
-        int n = 0;
-        for (const auto& agent : exp.agents()) {
-          for (const auto& [dst, state] : agent->table().entries()) {
-            sum += state.final_window_segments;
-            ++n;
-          }
-        }
-        series.mean_window.push_back(n > 0 ? sum / n : 0.0);
-      });
-  exp.run();
-  return series;
+  return runner::RunSpec{
+      series.label, std::move(config), [&series](cdn::Experiment& exp) {
+        exp.simulator().schedule_periodic(
+            sim::Time::seconds(15), sim::Time::seconds(15), [&series, &exp] {
+              double sum = 0.0;
+              int n = 0;
+              for (const auto& agent : exp.agents()) {
+                for (const auto& [dst, state] : agent->table().entries()) {
+                  sum += state.final_window_segments;
+                  ++n;
+                }
+              }
+              series.mean_window.push_back(n > 0 ? sum / n : 0.0);
+            });
+      }};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
   std::printf("Convergence of learned windows (mean across all agents and "
               "destinations, segments)\n");
   bench::print_rule();
 
   std::vector<Series> all;
-  all.push_back(run_variant("alpha=0.0 (no history)", 0.0,
-                            core::CombinerKind::kAverage));
-  all.push_back(run_variant("alpha=0.5 (paper)", 0.5,
-                            core::CombinerKind::kAverage));
-  all.push_back(
-      run_variant("alpha=0.9 (sluggish)", 0.9, core::CombinerKind::kAverage));
-  all.push_back(
-      run_variant("max combiner, alpha=0.5", 0.5, core::CombinerKind::kMax));
+  all.push_back(Series{"alpha=0.0 (no history)", {}});
+  all.push_back(Series{"alpha=0.5 (paper)", {}});
+  all.push_back(Series{"alpha=0.9 (sluggish)", {}});
+  all.push_back(Series{"max combiner, alpha=0.5", {}});
+
+  std::vector<runner::RunSpec> specs;
+  specs.push_back(make_variant(all[0], 0.0, core::CombinerKind::kAverage));
+  specs.push_back(make_variant(all[1], 0.5, core::CombinerKind::kAverage));
+  specs.push_back(make_variant(all[2], 0.9, core::CombinerKind::kAverage));
+  specs.push_back(make_variant(all[3], 0.5, core::CombinerKind::kMax));
+  runner::ParallelRunner(opt.threads).run(std::move(specs));
 
   std::printf("%-26s", "t (s):");
   for (std::size_t i = 0; i < all.front().mean_window.size(); ++i) {

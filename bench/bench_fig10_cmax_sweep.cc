@@ -10,17 +10,38 @@
 // Scale note: the paper samples each minute over 12 h of production
 // traffic; this harness samples every 15 s over minutes of simulated probe
 // traffic on the 34-PoP topology — the distributional shape is what is
-// compared.
+// compared. The six configurations are independent experiments, fanned
+// across --threads workers.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "cdn/experiment.h"
+#include "runner/parallel_runner.h"
+#include "runner/sweep.h"
 #include "stats/histogram.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
+
+  auto base = bench::paper_world(/*riptide=*/true);
+  base.seed = opt.seeds.front();
+
+  runner::SweepSpec sweep(base);
+  sweep.variant("control (no riptide)",
+                [](cdn::ExperimentConfig& c) { c.riptide_enabled = false; });
+  for (std::uint32_t c_max : {50u, 100u, 150u, 200u, 250u}) {
+    sweep.variant("riptide c_max=" + std::to_string(c_max),
+                  [c_max](cdn::ExperimentConfig& c) {
+                    c.riptide.c_max = c_max;
+                  });
+  }
+
+  const auto results =
+      runner::ParallelRunner(opt.threads).run(sweep.materialize());
 
   const std::vector<double> percentiles = {10, 25, 50, 75, 90, 99};
   std::printf("Fig 10: live congestion window CDF by c_max (segments)\n");
@@ -28,24 +49,12 @@ int main() {
   bench::print_percentile_header("configuration", percentiles);
 
   stats::Cdf control_cdf;
-  {
-    auto config = bench::paper_world(/*riptide=*/false);
-    cdn::Experiment control(config);
-    control.run();
-    control_cdf = control.metrics().cwnd_cdf();
-    bench::print_cdf_row("control (no riptide)", control_cdf, percentiles);
-  }
-
   double median_at_100 = 0.0;
-  for (std::uint32_t c_max : {50u, 100u, 150u, 200u, 250u}) {
-    auto config = bench::paper_world(/*riptide=*/true);
-    config.riptide.c_max = c_max;
-    cdn::Experiment exp(config);
-    exp.run();
-    const auto cdf = exp.metrics().cwnd_cdf();
-    bench::print_cdf_row("riptide c_max=" + std::to_string(c_max), cdf,
-                         percentiles);
-    if (c_max == 100) {
+  for (const auto& result : results) {
+    const auto cdf = result.experiment->metrics().cwnd_cdf();
+    bench::print_cdf_row(result.label, cdf, percentiles);
+    if (result.index == 0) control_cdf = cdf;
+    if (result.label == "riptide c_max=100") {
       median_at_100 = cdf.percentile(50);
       // The per-c_max mode the paper describes: histogram around the cap.
       stats::Histogram hist(0.0, 300.0, 30);

@@ -11,12 +11,15 @@
 #include <vector>
 
 #include "cdn/experiment.h"
+#include "runner/parallel_runner.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
 
   auto config = bench::paper_world(/*riptide=*/true);
+  config.seed = opt.seeds.front();
   const int busy = bench::find_pop(config.pop_specs, "nyc");
   const int quiet = bench::find_pop(config.pop_specs, "sto");
   config.organic_source_pops = {static_cast<std::size_t>(busy)};
@@ -28,8 +31,9 @@ int main() {
   config.probe.interval = sim::Time::seconds(20);
   config.probe.idle_close = sim::Time::seconds(45);
 
-  cdn::Experiment exp(config);
-  exp.run();
+  auto results = runner::ParallelRunner(opt.threads)
+                     .run({runner::RunSpec{"fig11", config, nullptr}});
+  const cdn::Experiment& exp = *results.front().experiment;
 
   const auto busy_cdf = exp.metrics().cwnd_cdf(busy);
   const auto quiet_cdf = exp.metrics().cwnd_cdf(quiet);

@@ -13,19 +13,22 @@
 
 #include "cdn/experiment.h"
 #include "cdn/metrics.h"
+#include "runner/parallel_runner.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
 
   auto treatment_cfg = bench::paper_world(/*riptide=*/true);
   auto control_cfg = bench::paper_world(/*riptide=*/false);
+  treatment_cfg.seed = control_cfg.seed = opt.seeds.front();
   const int src = bench::find_pop(treatment_cfg.pop_specs, "lon");
 
-  cdn::Experiment treatment(treatment_cfg);
-  cdn::Experiment control(control_cfg);
-  treatment.run();
-  control.run();
+  auto results = runner::ParallelRunner(opt.threads)
+                     .run_pair(treatment_cfg, control_cfg);
+  const cdn::Experiment& treatment = *results[0].experiment;
+  const cdn::Experiment& control = *results[1].experiment;
 
   const std::vector<double> percentiles = {10, 25, 50, 75, 90};
   const std::vector<cdn::RttBucket> buckets = {

@@ -4,23 +4,37 @@
 // than the ~15 KB that fit in the default initial window — is printed for
 // direct comparison.
 
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "cdn/file_size_dist.h"
+#include "runner/task_pool.h"
 #include "sim/random.h"
 #include "stats/cdf.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
 
+  // Sampling fans across a fixed number of shards with per-shard RNG
+  // streams, so the output is identical for every --threads value.
   cdn::FileSizeDistribution dist;
-  sim::Rng rng(2016);
+  constexpr std::size_t kShards = 16;
+  constexpr int kPerShard = 1'000'000 / kShards;
+  const auto shards = runner::parallel_map<std::vector<double>>(
+      opt.threads, kShards, [&dist](std::size_t shard) {
+        sim::Rng rng(2016 + static_cast<std::uint64_t>(shard));
+        std::vector<double> samples;
+        samples.reserve(kPerShard);
+        for (int i = 0; i < kPerShard; ++i) {
+          samples.push_back(static_cast<double>(dist.sample(rng)));
+        }
+        return samples;
+      });
   stats::Cdf sampled;
-  const int n = 1'000'000;
-  for (int i = 0; i < n; ++i) {
-    sampled.add(static_cast<double>(dist.sample(rng)));
-  }
+  for (const auto& shard : shards) sampled.add_all(shard);
 
   std::printf("Fig 2: file size distribution of the (synthetic) CDN\n");
   bench::print_rule();

@@ -11,11 +11,13 @@
 
 #include "cdn/file_size_dist.h"
 #include "model/transfer_model.h"
+#include "runner/task_pool.h"
 #include "sim/random.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
 
   cdn::FileSizeDistribution dist;
   sim::Rng rng(2016);
@@ -31,12 +33,20 @@ int main() {
   for (auto iw : windows) std::printf("     iw=%-3u", iw);
   std::printf("\n");
 
-  std::map<std::uint32_t, std::map<std::uint32_t, int>> counts;  // iw -> rtts -> n
-  for (auto iw : windows) {
-    model::ModelParams params{1460, iw};
-    for (auto size : sizes) {
-      ++counts[iw][model::rtts_for_transfer(size, params)];
-    }
+  // Each initcwnd's histogram is an independent pass over the sizes.
+  const auto histograms =
+      runner::parallel_map<std::map<std::uint32_t, int>>(
+          opt.threads, windows.size(), [&](std::size_t w) {
+            model::ModelParams params{1460, windows[w]};
+            std::map<std::uint32_t, int> hist;  // rtts -> n
+            for (auto size : sizes) {
+              ++hist[model::rtts_for_transfer(size, params)];
+            }
+            return hist;
+          });
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> counts;
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    counts[windows[w]] = histograms[w];
   }
 
   for (std::uint32_t rtts = 1; rtts <= 8; ++rtts) {

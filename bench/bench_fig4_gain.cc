@@ -11,8 +11,9 @@
 #include "model/transfer_model.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  bench::parse_bench_options(argc, argv);
 
   const std::vector<std::uint32_t> windows = {25, 50, 100};
   std::printf("Fig 4: %% reduction in RTTs vs initcwnd 10, by file size\n");

@@ -10,8 +10,9 @@
 #include "stats/cdf.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  bench::parse_bench_options(argc, argv);
 
   std::printf("Table II: CDN PoPs with Riptide deployed\n");
   bench::print_rule('-', 40);

@@ -10,12 +10,14 @@
 
 #include "cdn/topology.h"
 #include "model/transfer_model.h"
+#include "runner/task_pool.h"
 #include "sim/simulator.h"
 #include "stats/cdf.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace riptide;
+  const auto opt = bench::parse_bench_options(argc, argv);
 
   sim::Simulator sim;
   cdn::Topology topo(sim, cdn::TopologyConfig{});
@@ -35,13 +37,17 @@ int main() {
   bench::print_rule();
   bench::print_percentile_header("initcwnd", percentiles);
 
-  std::vector<stats::Cdf> cdfs(windows.size());
+  // One independent model pass per initcwnd, fanned across workers.
+  const auto cdfs = runner::parallel_map<stats::Cdf>(
+      opt.threads, windows.size(), [&](std::size_t i) {
+        model::ModelParams params{1460, windows[i]};
+        stats::Cdf cdf;
+        for (const auto rtt : rtts) {
+          cdf.add(model::transfer_time(size, params, rtt).to_milliseconds());
+        }
+        return cdf;
+      });
   for (std::size_t i = 0; i < windows.size(); ++i) {
-    model::ModelParams params{1460, windows[i]};
-    for (const auto rtt : rtts) {
-      cdfs[i].add(
-          model::transfer_time(size, params, rtt).to_milliseconds());
-    }
     bench::print_cdf_row("iw=" + std::to_string(windows[i]), cdfs[i],
                          percentiles);
   }

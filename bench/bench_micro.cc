@@ -2,8 +2,15 @@
 // and the Riptide agent: event-queue throughput, longest-prefix-match
 // lookups, the agent's poll loop against a host with many connections, and
 // quantile extraction used by the analysis pipeline.
+//
+// `bench_micro --queue-json` skips google-benchmark and instead runs the
+// event-queue throughput driver (schedule/fire, schedule/cancel,
+// RTO-rearm) and prints one machine-readable JSON line, so successive PRs
+// can track the event-loop trajectory. See queue_throughput.h.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
 
 #include "core/agent.h"
 #include "host/routing_table.h"
@@ -15,6 +22,7 @@
 #include "stats/cdf.h"
 #include "stats/ewma.h"
 #include "tcp/connection.h"
+#include "queue_throughput.h"
 
 namespace {
 
@@ -34,6 +42,68 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * events);
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+// Events scheduled then cancelled before firing: delayed-ACK / pacing
+// timer churn. Exercises handle issue + generation-bump cancellation.
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  std::vector<sim::EventHandle> handles(
+      static_cast<std::size_t>(events));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < events; ++i) {
+      handles[static_cast<std::size_t>(i)] =
+          sim.schedule(sim::Time::microseconds(i % 1000 + 1), [] {});
+    }
+    for (auto& h : handles) h.cancel();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimulatorScheduleCancel)->Arg(1000)->Arg(100000);
+
+// The RTO pattern: one timer rearmed per ACK while live short-delay events
+// keep the queue head busy; cancelled entries pile up deep in the queue
+// until compaction reclaims them.
+void BM_SimulatorRtoRearm(benchmark::State& state) {
+  const int acks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::EventHandle rto;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < acks; ++i) {
+      rto.cancel();
+      rto = sim.schedule(sim::Time::milliseconds(200), [&fired] { ++fired; });
+      sim.schedule(sim::Time::microseconds(100), [&fired] { ++fired; });
+      if (i % 64 == 0) {
+        sim.run_until(sim.now() + sim::Time::microseconds(10));
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * acks);
+}
+BENCHMARK(BM_SimulatorRtoRearm)->Arg(100000);
+
+// Periodic timers: slot reuse across firings (no realloc, no rescheduling
+// lambda chain).
+void BM_SimulatorPeriodic(benchmark::State& state) {
+  const int timers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fires = 0;
+    for (int i = 0; i < timers; ++i) {
+      sim.schedule_periodic(sim::Time::microseconds(i % 100),
+                            sim::Time::milliseconds(1),
+                            [&fires] { ++fires; });
+    }
+    sim.run_until(sim::Time::milliseconds(100));
+    benchmark::DoNotOptimize(fires);
+  }
+  state.SetItemsProcessed(state.iterations() * timers * 100);
+}
+BENCHMARK(BM_SimulatorPeriodic)->Arg(100);
 
 void BM_RoutingTableLookup(benchmark::State& state) {
   const int routes = static_cast<int>(state.range(0));
@@ -125,4 +195,22 @@ BENCHMARK(BM_AgentPoll)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queue-json") == 0) {
+#ifdef __OPTIMIZE__
+      const char* build = "optimized";
+#else
+      const char* build = "unoptimized";
+#endif
+      riptide::bench::print_queue_throughput_json(
+          riptide::bench::measure_queue_throughput(), build);
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -8,6 +10,56 @@
 #include "stats/cdf.h"
 
 namespace riptide::bench {
+
+// Options shared by every bench driver. All benches accept:
+//   --threads N     worker threads for independent experiment runs
+//                   (0/default = one per hardware thread)
+//   --seeds a,b,c   seeds to sweep where the bench supports it
+//   --json          additionally emit machine-readable result lines
+struct BenchOptions {
+  unsigned threads = 0;
+  std::vector<std::uint64_t> seeds = {1};
+  bool json = false;
+};
+
+// Benchmark numbers from an -O0 build are noise; say so loudly (satellite
+// of the perf PR: benches default to a Release-flags warning).
+inline void warn_if_unoptimized() {
+#ifndef __OPTIMIZE__
+  std::fprintf(stderr,
+               "WARNING: this bench was built without optimization "
+               "(CMAKE_BUILD_TYPE=Debug?). Numbers will be meaningless; "
+               "configure with -DCMAKE_BUILD_TYPE=Release.\n");
+#endif
+}
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  warn_if_unoptimized();
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      opt.seeds.clear();
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        opt.seeds.push_back(std::strtoull(p, &end, 10));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (opt.seeds.empty()) opt.seeds = {1};
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--seeds a,b,c] [--json]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
 
 // Prints a CDF as "value @ percentile" rows at the given percentiles.
 inline void print_cdf_row(const std::string& label, const stats::Cdf& cdf,

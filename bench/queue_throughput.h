@@ -1,0 +1,127 @@
+#pragma once
+
+// Event-queue throughput driver behind bench_micro's --queue-json mode.
+// Exercises the three simulator hot patterns the experiment workload is
+// made of and reports ops/sec for each as one machine-readable JSON line,
+// so successive PRs can track the event-loop trajectory:
+//
+//   schedule_fire   - one-shot events scheduled and drained in batches
+//                     (the probe/packet delivery path)
+//   schedule_cancel - events scheduled then cancelled before firing
+//                     (delayed-ACK and pacing timers)
+//   rto_rearm       - a retransmission timer cancelled and rearmed on
+//                     every simulated ACK (the lazy-cancellation pattern
+//                     that used to bloat the heap)
+//
+// Only the public Simulator API is used, so the same driver links against
+// any simulator implementation — numbers are apples-to-apples across PRs.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+namespace riptide::bench {
+
+struct QueueThroughput {
+  double schedule_fire_ops = 0.0;    // ops/sec
+  double schedule_cancel_ops = 0.0;  // ops/sec
+  double rto_rearm_ops = 0.0;        // ops/sec
+  std::size_t rto_peak_pending = 0;  // max queue size during rto_rearm
+};
+
+namespace detail {
+inline double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace detail
+
+inline QueueThroughput measure_queue_throughput(std::size_t total_ops =
+                                                    2'000'000) {
+  QueueThroughput out;
+  const std::size_t batch = 10'000;
+
+  {
+    // schedule_fire: realistic queue depth of `batch`, fully drained.
+    sim::Simulator sim;
+    std::uint64_t sink = 0;
+    const double start = detail::now_seconds();
+    for (std::size_t done = 0; done < total_ops; done += batch) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        sim.schedule(sim::Time::microseconds(static_cast<std::int64_t>(i)),
+                     [&sink] { ++sink; });
+      }
+      sim.run();
+    }
+    out.schedule_fire_ops =
+        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+    if (sink != total_ops) std::fprintf(stderr, "queue bench: bad sink\n");
+  }
+
+  {
+    // schedule_cancel: every event cancelled before it can fire.
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles(batch);
+    const double start = detail::now_seconds();
+    for (std::size_t done = 0; done < total_ops; done += batch) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        handles[i] = sim.schedule(
+            sim::Time::microseconds(static_cast<std::int64_t>(i + 1)), [] {});
+      }
+      for (auto& h : handles) h.cancel();
+      sim.run();
+    }
+    out.schedule_cancel_ops =
+        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+  }
+
+  {
+    // rto_rearm: one long-lived timer rearmed per simulated ACK, clock
+    // creeping forward, with a stream of live short-delay events (the ACKs
+    // themselves) keeping the queue head live — TCP's RTO pattern. The
+    // cancelled timers sit deep in the queue where head-purging cannot
+    // reach them, so unbounded lazy-cancellation growth is visible in
+    // rto_peak_pending.
+    sim::Simulator sim;
+    sim::EventHandle rto;
+    std::uint64_t fired = 0;
+    const double start = detail::now_seconds();
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      rto.cancel();
+      rto = sim.schedule(sim::Time::milliseconds(200), [&fired] { ++fired; });
+      sim.schedule(sim::Time::microseconds(100), [&fired] { ++fired; });
+      if (i % 64 == 0) {
+        if (sim.pending_events() > out.rto_peak_pending) {
+          out.rto_peak_pending = sim.pending_events();
+        }
+        sim.run_until(sim.now() + sim::Time::microseconds(10));
+      }
+    }
+    if (sim.pending_events() > out.rto_peak_pending) {
+      out.rto_peak_pending = sim.pending_events();
+    }
+    sim.run();
+    out.rto_rearm_ops =
+        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+  }
+
+  return out;
+}
+
+inline void print_queue_throughput_json(const QueueThroughput& t,
+                                        const char* build_label) {
+  std::printf(
+      "{\"bench\":\"event_queue\",\"build\":\"%s\","
+      "\"schedule_fire_ops_per_sec\":%.0f,"
+      "\"schedule_cancel_ops_per_sec\":%.0f,"
+      "\"rto_rearm_ops_per_sec\":%.0f,"
+      "\"rto_peak_pending\":%zu}\n",
+      build_label, t.schedule_fire_ops, t.schedule_cancel_ops,
+      t.rto_rearm_ops, t.rto_peak_pending);
+}
+
+}  // namespace riptide::bench

@@ -58,7 +58,9 @@ class Experiment {
 
   const MetricsCollector& metrics() const { return metrics_; }
   Topology& topology() { return *topology_; }
+  const Topology& topology() const { return *topology_; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   const ExperimentConfig& config() const { return config_; }
   const std::vector<std::unique_ptr<core::RiptideAgent>>& agents() const {
     return agents_;

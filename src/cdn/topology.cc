@@ -86,6 +86,10 @@ host::Host& Topology::host(std::size_t pop, std::size_t index) {
   return *pops_.at(pop).hosts.at(index);
 }
 
+const host::Host& Topology::host(std::size_t pop, std::size_t index) const {
+  return *pops_.at(pop).hosts.at(index);
+}
+
 std::vector<host::Host*> Topology::all_hosts() {
   std::vector<host::Host*> out;
   out.reserve(hosts_.size());

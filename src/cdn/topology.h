@@ -54,6 +54,7 @@ class Topology {
   const std::vector<Pop>& pops() const { return pops_; }
   std::size_t pop_count() const { return pops_.size(); }
   host::Host& host(std::size_t pop, std::size_t index);
+  const host::Host& host(std::size_t pop, std::size_t index) const;
   std::vector<host::Host*> all_hosts();
 
   // Index of the PoP owning `addr`, or -1.

@@ -1,0 +1,40 @@
+#include "runner/parallel_runner.h"
+
+#include <chrono>
+#include <utility>
+
+#include "runner/task_pool.h"
+
+namespace riptide::runner {
+
+std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs) const {
+  return parallel_map<RunResult>(
+      threads_, specs.size(), [&specs](std::size_t i) {
+        RunSpec& spec = specs[i];
+        RunResult result;
+        result.index = i;
+        result.label = std::move(spec.label);
+        const auto start = std::chrono::steady_clock::now();
+        result.experiment =
+            std::make_unique<cdn::Experiment>(std::move(spec.config));
+        if (spec.setup) spec.setup(*result.experiment);
+        result.experiment->run();
+        result.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return result;
+      });
+}
+
+std::vector<RunResult> ParallelRunner::run_pair(
+    cdn::ExperimentConfig treatment, cdn::ExperimentConfig control) const {
+  std::vector<RunSpec> specs(2);
+  specs[0].label = "treatment";
+  specs[0].config = std::move(treatment);
+  specs[1].label = "control";
+  specs[1].config = std::move(control);
+  return run(std::move(specs));
+}
+
+}  // namespace riptide::runner

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cdn/experiment.h"
+
+namespace riptide::runner {
+
+// One experiment to run: a label for reports, the full config, and an
+// optional hook executed after construction but before run() — used by
+// benches that attach samplers to the experiment's simulator.
+struct RunSpec {
+  std::string label;
+  cdn::ExperimentConfig config;
+  std::function<void(cdn::Experiment&)> setup;
+};
+
+// A completed run, returned in the same order the specs were given
+// regardless of the thread count or completion order.
+struct RunResult {
+  std::size_t index = 0;
+  std::string label;
+  std::unique_ptr<cdn::Experiment> experiment;
+  double wall_seconds = 0.0;
+};
+
+// Fans fully independent cdn::Experiment runs (treatment/control pairs,
+// seed sweeps, parameter sweeps) across a thread pool. Each run owns its
+// simulator and RNG (seeded from its config), touches no shared state, and
+// is reported back in spec order, so results are bit-identical to a
+// sequential execution of the same specs — a property the determinism
+// tests pin down.
+class ParallelRunner {
+ public:
+  // threads = 0 means one worker per hardware thread.
+  explicit ParallelRunner(unsigned threads = 0) : threads_(threads) {}
+
+  unsigned threads() const { return threads_; }
+
+  // Runs every spec and blocks until all are done. Exceptions from a run
+  // (bad config, etc.) are rethrown for the lowest failing spec index.
+  std::vector<RunResult> run(std::vector<RunSpec> specs) const;
+
+  // Convenience for the ubiquitous paired layout: [treatment, control].
+  std::vector<RunResult> run_pair(cdn::ExperimentConfig treatment,
+                                  cdn::ExperimentConfig control) const;
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace riptide::runner

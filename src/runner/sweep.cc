@@ -1,0 +1,70 @@
+#include "runner/sweep.h"
+
+#include <utility>
+
+namespace riptide::runner {
+
+namespace {
+
+std::string join_label(const std::string& variant, std::uint64_t seed,
+                       bool many_seeds, const char* arm) {
+  std::string label = variant;
+  if (many_seeds) {
+    if (!label.empty()) label += '/';
+    label += "seed=" + std::to_string(seed);
+  }
+  if (arm != nullptr) {
+    if (!label.empty()) label += '/';
+    label += arm;
+  }
+  return label;
+}
+
+}  // namespace
+
+std::size_t SweepSpec::size() const {
+  const std::size_t variants = variants_.empty() ? 1 : variants_.size();
+  const std::size_t seeds = seeds_.empty() ? 1 : seeds_.size();
+  return variants * seeds * (treatment_control_ ? 2 : 1);
+}
+
+std::vector<RunSpec> SweepSpec::materialize() const {
+  std::vector<RunSpec> specs;
+  specs.reserve(size());
+
+  std::vector<Variant> variants = variants_;
+  if (variants.empty()) variants.push_back(Variant{"", nullptr});
+  std::vector<std::uint64_t> seeds = seeds_;
+  if (seeds.empty()) seeds.push_back(base_.seed);
+
+  for (const Variant& variant : variants) {
+    for (const std::uint64_t seed : seeds) {
+      cdn::ExperimentConfig config = base_;
+      config.seed = seed;
+      if (variant.apply) variant.apply(config);
+
+      if (treatment_control_) {
+        cdn::ExperimentConfig treatment = config;
+        treatment.riptide_enabled = true;
+        cdn::ExperimentConfig control = config;
+        control.riptide_enabled = false;
+        specs.push_back(RunSpec{
+            join_label(variant.label, seed, seeds.size() > 1, "riptide"),
+            std::move(treatment),
+            nullptr});
+        specs.push_back(RunSpec{
+            join_label(variant.label, seed, seeds.size() > 1, "control"),
+            std::move(control),
+            nullptr});
+      } else {
+        specs.push_back(RunSpec{
+            join_label(variant.label, seed, seeds.size() > 1, nullptr),
+            std::move(config),
+            nullptr});
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace riptide::runner

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/parallel_runner.h"
+
+namespace riptide::runner {
+
+// Declarative sweep over a base ExperimentConfig: named parameter variants
+// x seeds x (optionally) a riptide-on/riptide-off pair per point. This is
+// the campaign layout behind every figure reproduction — Fig 10 sweeps
+// c_max, Figs 12-16 run treatment/control pairs, and seed sweeps tighten
+// the distributional claims.
+//
+// materialize() expands to RunSpecs in a fixed order — variant-major, then
+// seed, then treatment before control — so result indices are stable and
+// parallel runs stay comparable across thread counts.
+class SweepSpec {
+ public:
+  struct Variant {
+    std::string label;
+    std::function<void(cdn::ExperimentConfig&)> apply;
+  };
+
+  explicit SweepSpec(cdn::ExperimentConfig base) : base_(std::move(base)) {}
+
+  SweepSpec& seeds(std::vector<std::uint64_t> seeds) {
+    seeds_ = std::move(seeds);
+    return *this;
+  }
+
+  // Expand each point into a treatment (riptide on) / control (riptide
+  // off) pair.
+  SweepSpec& treatment_control(bool enabled = true) {
+    treatment_control_ = enabled;
+    return *this;
+  }
+
+  SweepSpec& variant(std::string label,
+                     std::function<void(cdn::ExperimentConfig&)> apply) {
+    variants_.push_back(Variant{std::move(label), std::move(apply)});
+    return *this;
+  }
+
+  // Expansion order: for each variant, for each seed, treatment then
+  // (optionally) control. With no variants the base config is the single
+  // variant; with no seeds the base config's seed is used.
+  std::vector<RunSpec> materialize() const;
+
+  // Number of RunSpecs materialize() will produce.
+  std::size_t size() const;
+
+ private:
+  cdn::ExperimentConfig base_;
+  std::vector<std::uint64_t> seeds_;
+  bool treatment_control_ = false;
+  std::vector<Variant> variants_;
+};
+
+}  // namespace riptide::runner

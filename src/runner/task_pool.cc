@@ -1,0 +1,60 @@
+#include "runner/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace riptide::runner {
+
+unsigned effective_threads(unsigned requested, std::size_t jobs) {
+  if (jobs == 0) return 1;
+  unsigned threads = requested != 0 ? requested
+                                    : std::max(1u,
+                                               std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      std::min<std::size_t>(threads, jobs));
+}
+
+void parallel_for(unsigned threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned workers = effective_threads(threads, n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::size_t first_error_index = n;
+  std::exception_ptr first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread pulls its weight too
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace riptide::runner

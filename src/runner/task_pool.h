@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace riptide::runner {
+
+// Worker count actually used for `jobs` jobs when the caller asked for
+// `requested` threads (0 = one per hardware thread). Never more workers
+// than jobs, never fewer than one.
+unsigned effective_threads(unsigned requested, std::size_t jobs);
+
+// Runs fn(0), ..., fn(n-1) across up to `threads` worker threads (0 = one
+// per hardware thread). Indices are claimed dynamically, so long and short
+// jobs pack well; with threads <= 1 (or n <= 1) everything runs inline on
+// the calling thread. If any invocation throws, the exception thrown by
+// the lowest index is rethrown after all workers finish.
+void parallel_for(unsigned threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+// parallel_for returning the results in index order. R must be default-
+// constructible and movable; results are deterministic regardless of the
+// thread count because slot i only ever holds fn(i).
+template <typename R>
+std::vector<R> parallel_map(unsigned threads, std::size_t n,
+                            const std::function<R(std::size_t)>& fn) {
+  std::vector<R> out(n);
+  parallel_for(threads, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace riptide::runner

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace riptide::sim {
+
+// Move-only `void()` callable with small-buffer optimisation, used as the
+// simulator's event callback type. The simulator schedules one of these per
+// simulated packet, so the representation matters:
+//
+//  - functors up to kInlineSize bytes (a captured `this` plus several
+//    words — every timer lambda in src/tcp and src/cdn) are stored inline
+//    in the event record, no allocation;
+//  - larger functors fall back to a single heap allocation;
+//  - moving never copies the functor state for heap targets and is a
+//    memcpy-sized move for inline ones, which keeps event-queue sifting
+//    and slab compaction cheap.
+//
+// Unlike std::function it is move-only, so callbacks may capture move-only
+// state (unique_ptr, handles) directly.
+class Callback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() noexcept = default;
+  Callback(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      heap_ = new D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(target()); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(target());
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*) noexcept;
+    // Move-construct into `dst` and destroy the source; null for heap
+    // targets, whose ownership transfers by pointer copy.
+    void (*relocate)(void* src, void* dst) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool stored_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  static void invoke_inline(void* p) {
+    (*std::launder(reinterpret_cast<F*>(p)))();
+  }
+  template <typename F>
+  static void destroy_inline(void* p) noexcept {
+    std::launder(reinterpret_cast<F*>(p))->~F();
+  }
+  template <typename F>
+  static void relocate_inline(void* src, void* dst) noexcept {
+    F* from = std::launder(reinterpret_cast<F*>(src));
+    ::new (dst) F(std::move(*from));
+    from->~F();
+  }
+  template <typename F>
+  static void invoke_heap(void* p) {
+    (*static_cast<F*>(p))();
+  }
+  template <typename F>
+  static void destroy_heap(void* p) noexcept {
+    delete static_cast<F*>(p);
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps{&invoke_inline<F>, &destroy_inline<F>,
+                                  &relocate_inline<F>};
+  template <typename F>
+  static constexpr Ops kHeapOps{&invoke_heap<F>, &destroy_heap<F>, nullptr};
+
+  void* target() noexcept {
+    return ops_->relocate ? static_cast<void*>(buf_) : heap_;
+  }
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (!ops_) return;
+    if (ops_->relocate) {
+      ops_->relocate(other.buf_, buf_);
+    } else {
+      heap_ = other.heap_;
+    }
+    other.ops_ = nullptr;
+  }
+
+  const Ops* ops_ = nullptr;
+  union {
+    void* heap_;
+    alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  };
+};
+
+}  // namespace riptide::sim

@@ -1,10 +1,73 @@
 #include "sim/simulator.h"
 
-#include <memory>
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
 namespace riptide::sim {
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  EventRecord& rec = slab_[slot];
+  ++rec.gen;  // invalidate outstanding handles before the slot is reused
+  rec.cb.reset();
+  rec.interval = Time::zero();
+  free_slots_.push_back(slot);
+}
+
+void Simulator::push_entry(Time when, std::uint32_t slot, std::uint32_t gen) {
+  heap_.push_back(QueueEntry{when, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+bool Simulator::event_pending(std::uint32_t slot, std::uint32_t gen) const {
+  return slot < slab_.size() && slab_[slot].gen == gen;
+}
+
+void Simulator::cancel_event(std::uint32_t slot, std::uint32_t gen) {
+  if (!event_pending(slot, gen)) return;  // fired, cancelled, or reused
+  EventRecord& rec = slab_[slot];
+  ++rec.gen;
+  rec.cb.reset();
+  rec.interval = Time::zero();
+  if (in_flight_ && in_flight_slot_ == slot && in_flight_gen_ == gen) {
+    // The callback cancelled its own (periodic) event: no queue entry
+    // exists for it right now; pop_and_run_next reclaims the slot.
+    return;
+  }
+  ++cancelled_;
+  maybe_compact();
+}
+
+void Simulator::maybe_compact() {
+  // Rebuild the heap once dead entries outnumber live ones, so rearm-heavy
+  // workloads (an RTO cancelled on every ACK) cannot grow the queue beyond
+  // ~2x the live event count. Amortised O(1) per cancellation.
+  if (heap_.size() < kCompactMinEntries || cancelled_ * 2 <= heap_.size()) {
+    return;
+  }
+  std::size_t kept = 0;
+  for (const QueueEntry& entry : heap_) {
+    if (slab_[entry.slot].gen == entry.gen) {
+      heap_[kept++] = entry;
+    } else {
+      release_slot(entry.slot);
+    }
+  }
+  heap_.resize(kept);
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  cancelled_ = 0;
+}
 
 EventHandle Simulator::schedule(Time delay, Callback cb) {
   if (delay < Time::zero()) {
@@ -17,9 +80,12 @@ EventHandle Simulator::schedule_at(Time when, Callback cb) {
   if (when < now_) {
     throw std::invalid_argument("Simulator::schedule_at: time in the past");
   }
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(cb), cancelled});
-  return EventHandle{std::move(cancelled)};
+  const std::uint32_t slot = acquire_slot();
+  EventRecord& rec = slab_[slot];
+  rec.cb = std::move(cb);
+  rec.interval = Time::zero();
+  push_entry(when, slot, rec.gen);
+  return EventHandle{this, slot, rec.gen};
 }
 
 EventHandle Simulator::schedule_periodic(Time initial_delay, Time interval,
@@ -27,40 +93,64 @@ EventHandle Simulator::schedule_periodic(Time initial_delay, Time interval,
   if (interval <= Time::zero()) {
     throw std::invalid_argument("Simulator::schedule_periodic: interval <= 0");
   }
-  auto cancelled = std::make_shared<bool>(false);
-  // The recurring lambda reschedules itself under the same cancellation
-  // flag so one handle controls the whole series. Ownership of the function
-  // object lives in the queued events; the lambda itself only holds a weak
-  // reference, so cancelling (or draining) the series frees everything.
-  auto tick = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_tick = tick;
-  *tick = [this, interval, cb = std::move(cb), cancelled, weak_tick]() {
-    cb();
-    if (!*cancelled) {
-      if (auto strong = weak_tick.lock()) {
-        queue_.push(Event{now_ + interval, next_seq_++,
-                          [strong] { (*strong)(); }, cancelled});
-      }
-    }
-  };
-  queue_.push(Event{now_ + initial_delay, next_seq_++,
-                    [tick] { (*tick)(); }, cancelled});
-  return EventHandle{std::move(cancelled)};
+  if (initial_delay < Time::zero()) {
+    throw std::invalid_argument(
+        "Simulator::schedule_periodic: negative initial delay");
+  }
+  const std::uint32_t slot = acquire_slot();
+  EventRecord& rec = slab_[slot];
+  rec.cb = std::move(cb);
+  rec.interval = interval;
+  push_entry(now_ + initial_delay, slot, rec.gen);
+  return EventHandle{this, slot, rec.gen};
 }
 
 void Simulator::purge_cancelled_top() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  while (!heap_.empty()) {
+    const QueueEntry& top = heap_.front();
+    if (slab_[top.slot].gen == top.gen) return;
+    const std::uint32_t slot = top.slot;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+    release_slot(slot);
+    --cancelled_;
+  }
 }
 
-bool Simulator::pop_and_run_next() {
+void Simulator::pop_and_run_next() {
   // Precondition: the queue head is a live (non-cancelled) event. Callers
   // purge first so deadline checks in run_until never look at dead entries.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.when;
-  ev.cb();
+  const QueueEntry entry = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  now_ = entry.when;
+
+  // Move the callback out before invoking: the callback may schedule new
+  // events and grow/reallocate the slab, and a periodic callback may
+  // cancel its own series.
+  Callback cb = std::move(slab_[entry.slot].cb);
+  in_flight_ = true;
+  in_flight_slot_ = entry.slot;
+  in_flight_gen_ = entry.gen;
+  try {
+    cb();
+  } catch (...) {
+    in_flight_ = false;
+    release_slot(entry.slot);
+    throw;
+  }
+  in_flight_ = false;
   ++executed_;
-  return true;
+
+  EventRecord& rec = slab_[entry.slot];
+  if (rec.gen == entry.gen && rec.interval > Time::zero()) {
+    // Periodic and not cancelled: the slot (and handle) stay live.
+    rec.cb = std::move(cb);
+    push_entry(now_ + rec.interval, entry.slot, entry.gen);
+  } else {
+    // One-shot completion, or the callback cancelled its own series.
+    release_slot(entry.slot);
+  }
 }
 
 std::uint64_t Simulator::run_until(Time deadline) {
@@ -68,7 +158,7 @@ std::uint64_t Simulator::run_until(Time deadline) {
   std::uint64_t ran = 0;
   for (;;) {
     purge_cancelled_top();
-    if (stopped_ || queue_.empty() || queue_.top().when > deadline) break;
+    if (stopped_ || heap_.empty() || heap_.front().when > deadline) break;
     pop_and_run_next();
     ++ran;
   }
@@ -83,7 +173,7 @@ std::uint64_t Simulator::run() {
   std::uint64_t ran = 0;
   for (;;) {
     purge_cancelled_top();
-    if (stopped_ || queue_.empty()) break;
+    if (stopped_ || heap_.empty()) break;
     pop_and_run_next();
     ++ran;
   }

@@ -1,18 +1,22 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <cstddef>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace riptide::sim {
 
-// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-// stays in the queue but is skipped when popped (cheap for the common case
-// of TCP retransmission timers, which are rescheduled on every ACK).
+class Simulator;
+
+// Handle used to cancel a scheduled event. The handle is a (slot,
+// generation) ticket into the simulator's event slab: cancelling bumps the
+// slot's generation so the queued entry is skipped when it surfaces, and a
+// stale handle (fired, cancelled, or slot since reused) reads as invalid
+// and cancels nothing. Cancellation stays cheap for the common case of TCP
+// retransmission timers, which are rearmed on every ACK.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -20,26 +24,36 @@ class EventHandle {
   // Cancels the event (if still pending) and releases the handle: a
   // cancelled handle reads as invalid, so guards like
   // `if (timer.valid()) return;` rearm correctly after cancellation.
-  void cancel() {
-    if (cancelled_) {
-      *cancelled_ = true;
-      cancelled_.reset();
-    }
-  }
-  bool valid() const { return cancelled_ != nullptr; }
+  // Precondition: the simulator that issued the handle must still be
+  // alive (holders are members of objects owned by the experiment, which
+  // destroys them before its simulator).
+  void cancel();
+
+  // True while the event (or periodic series) is still scheduled.
+  bool valid() const;
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 // Single-threaded discrete-event simulator. Events at equal timestamps fire
 // in scheduling (FIFO) order, which keeps runs deterministic.
+//
+// Hot-path representation: callbacks live in a slab of reusable event
+// records (periodic timers keep their slot across firings); the priority
+// queue itself holds 24-byte trivially-copyable entries, so heap sifting
+// never moves a callback. Cancelled entries are skipped lazily when they
+// surface, and the queue is compacted whenever cancelled entries outnumber
+// live ones, so long-lived rearm-heavy workloads stay bounded.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Time now() const { return now_; }
 
@@ -48,7 +62,8 @@ class Simulator {
   EventHandle schedule_at(Time when, Callback cb);
 
   // Schedules `cb` every `interval`, starting at now() + initial_delay.
-  // The returned handle cancels all future firings.
+  // The returned handle cancels all future firings (including from inside
+  // the callback itself).
   EventHandle schedule_periodic(Time initial_delay, Time interval, Callback cb);
 
   // Runs events until the queue empties or `deadline` is reached; events
@@ -64,29 +79,70 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+
+  // Queue entries, including not-yet-reclaimed cancelled ones. Compaction
+  // keeps this within a small factor of live_events().
+  std::size_t pending_events() const { return heap_.size(); }
+  std::size_t live_events() const { return heap_.size() - cancelled_; }
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  // Slab record owning the callback. `gen` is bumped whenever the slot's
+  // current event ends (fires, is cancelled, or the slot is reused), which
+  // invalidates every outstanding (slot, gen) ticket for it.
+  struct EventRecord {
+    Callback cb;
+    Time interval{};  // > zero() for periodic events
+    std::uint32_t gen = 0;
+  };
+
+  // Heap entry: trivially copyable, no callback, cheap to sift/compact.
+  struct QueueEntry {
     Time when;
     std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
 
-    bool operator>(const Event& other) const {
+    bool operator>(const QueueEntry& other) const {
       if (when != other.when) return when > other.when;
       return seq > other.seq;
     }
   };
 
+  static constexpr std::size_t kCompactMinEntries = 64;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(Time when, std::uint32_t slot, std::uint32_t gen);
+  void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  bool event_pending(std::uint32_t slot, std::uint32_t gen) const;
+  void maybe_compact();
   void purge_cancelled_top();
-  bool pop_and_run_next();
+  void pop_and_run_next();
 
   Time now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::size_t cancelled_ = 0;  // dead entries still in heap_
+  bool in_flight_ = false;     // an event's callback is executing
+  std::uint32_t in_flight_slot_ = 0;
+  std::uint32_t in_flight_gen_ = 0;
+  std::vector<EventRecord> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<QueueEntry> heap_;  // min-heap via std::*_heap + greater
 };
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) {
+    sim_->cancel_event(slot_, gen_);
+    sim_ = nullptr;
+  }
+}
+
+inline bool EventHandle::valid() const {
+  return sim_ != nullptr && sim_->event_pending(slot_, gen_);
+}
 
 }  // namespace riptide::sim

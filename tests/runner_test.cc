@@ -1,0 +1,232 @@
+// Tests for the parallel experiment runner: determinism across thread
+// counts (the property every figure reproduction leans on), spec-order
+// result delivery, sweep materialization, and exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cdn/experiment.h"
+#include "cdn/pops.h"
+#include "runner/parallel_runner.h"
+#include "runner/sweep.h"
+#include "runner/task_pool.h"
+
+namespace riptide::runner {
+namespace {
+
+// A deliberately tiny scenario so the full determinism matrix stays fast:
+// 3 PoPs, 20 simulated seconds.
+cdn::ExperimentConfig small_config(std::uint64_t seed) {
+  cdn::ExperimentConfig config;
+  const auto& all = cdn::default_pop_specs();
+  config.pop_specs.assign(all.begin(), all.begin() + 3);
+  config.duration = sim::Time::seconds(20);
+  config.seed = seed;
+  return config;
+}
+
+// Everything observable about a finished run, for bitwise comparison.
+struct Fingerprint {
+  std::vector<double> completion_ms;
+  std::vector<double> cwnd;
+  std::vector<double> probe_samples;
+  std::uint64_t events = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const cdn::Experiment& exp) {
+  Fingerprint fp;
+  for (const auto& flow : exp.metrics().flows()) {
+    fp.completion_ms.push_back(flow.duration.to_milliseconds());
+  }
+  fp.cwnd = exp.metrics().cwnd_cdf().sorted_samples();
+  fp.probe_samples = exp.probe_cdf(0, 100'000).sorted_samples();
+  fp.events = exp.simulator().events_executed();
+  return fp;
+}
+
+// ------------------------------------------------------------- task_pool
+
+TEST(TaskPoolTest, EffectiveThreadsClamped) {
+  EXPECT_EQ(effective_threads(4, 2), 2u);
+  EXPECT_EQ(effective_threads(2, 100), 2u);
+  EXPECT_EQ(effective_threads(1, 0), 1u);
+  EXPECT_GE(effective_threads(0, 100), 1u);
+}
+
+TEST(TaskPoolTest, ParallelForVisitsEveryIndexOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  parallel_for(4, kN, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(TaskPoolTest, ParallelMapPreservesIndexOrder) {
+  const auto out = parallel_map<std::size_t>(4, 100,
+                                             [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(TaskPoolTest, LowestIndexExceptionWins) {
+  try {
+    parallel_for(4, 8, [](std::size_t i) {
+      if (i == 2 || i == 5) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 2");
+  }
+}
+
+TEST(TaskPoolTest, InlineWhenSingleThreaded) {
+  // threads=1 must not spawn workers: verify by observing side effects in
+  // strict order (a worker race could interleave).
+  std::vector<std::size_t> order;
+  parallel_for(1, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------------ SweepSpec
+
+TEST(SweepSpecTest, BaseConfigIsSingleSpec) {
+  const auto specs = SweepSpec(small_config(7)).materialize();
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].config.seed, 7u);
+  EXPECT_TRUE(specs[0].config.riptide_enabled);
+}
+
+TEST(SweepSpecTest, SeedsByTreatmentControlExpansion) {
+  auto sweep = SweepSpec(small_config(1))
+                   .seeds({10, 20})
+                   .treatment_control();
+  EXPECT_EQ(sweep.size(), 4u);
+  const auto specs = sweep.materialize();
+  ASSERT_EQ(specs.size(), 4u);
+  // seed-major, treatment before control
+  EXPECT_EQ(specs[0].config.seed, 10u);
+  EXPECT_TRUE(specs[0].config.riptide_enabled);
+  EXPECT_EQ(specs[1].config.seed, 10u);
+  EXPECT_FALSE(specs[1].config.riptide_enabled);
+  EXPECT_EQ(specs[2].config.seed, 20u);
+  EXPECT_TRUE(specs[2].config.riptide_enabled);
+  EXPECT_EQ(specs[3].config.seed, 20u);
+  EXPECT_FALSE(specs[3].config.riptide_enabled);
+  for (const auto& spec : specs) {
+    EXPECT_NE(spec.label.find("seed="), std::string::npos) << spec.label;
+  }
+}
+
+TEST(SweepSpecTest, VariantsApplyInOrder) {
+  auto sweep = SweepSpec(small_config(1))
+                   .variant("cmax=50",
+                            [](cdn::ExperimentConfig& c) {
+                              c.riptide.c_max = 50;
+                            })
+                   .variant("cmax=100", [](cdn::ExperimentConfig& c) {
+                     c.riptide.c_max = 100;
+                   });
+  const auto specs = sweep.materialize();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].config.riptide.c_max, 50u);
+  EXPECT_EQ(specs[0].label, "cmax=50");
+  EXPECT_EQ(specs[1].config.riptide.c_max, 100u);
+  EXPECT_EQ(specs[1].label, "cmax=100");
+}
+
+// ------------------------------------------------------- ParallelRunner
+
+TEST(ParallelRunnerTest, ResultsArriveInSpecOrder) {
+  std::vector<RunSpec> specs;
+  for (std::uint64_t seed : {5, 6, 7, 8}) {
+    specs.push_back(RunSpec{"seed=" + std::to_string(seed),
+                            small_config(seed), nullptr});
+  }
+  const auto results = ParallelRunner(4).run(std::move(specs));
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, "seed=" + std::to_string(5 + i));
+    ASSERT_NE(results[i].experiment, nullptr);
+    EXPECT_EQ(results[i].experiment->config().seed, 5 + i);
+    EXPECT_GE(results[i].wall_seconds, 0.0);
+  }
+}
+
+// The tentpole guarantee: N-threaded execution is bit-identical to
+// sequential execution of the same specs. Flows, cwnd samples, probe
+// CDFs, and event counts must all match exactly.
+TEST(ParallelRunnerTest, ParallelMatchesSequentialBitIdentical) {
+  auto make_specs = [] {
+    std::vector<RunSpec> specs;
+    for (std::uint64_t seed : {1, 2, 3, 4}) {
+      specs.push_back(RunSpec{"", small_config(seed), nullptr});
+    }
+    return specs;
+  };
+
+  const auto sequential = ParallelRunner(1).run(make_specs());
+  const auto parallel = ParallelRunner(4).run(make_specs());
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(fingerprint(*sequential[i].experiment),
+              fingerprint(*parallel[i].experiment))
+        << "run " << i << " diverged between thread counts";
+  }
+  // And the runs themselves are genuinely different scenarios.
+  EXPECT_NE(fingerprint(*sequential[0].experiment),
+            fingerprint(*sequential[1].experiment));
+}
+
+TEST(ParallelRunnerTest, RunPairLayout) {
+  auto treatment = small_config(3);
+  auto control = small_config(3);
+  control.riptide_enabled = false;
+  const auto results =
+      ParallelRunner(2).run_pair(treatment, control);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].label, "treatment");
+  EXPECT_TRUE(results[0].experiment->config().riptide_enabled);
+  EXPECT_EQ(results[1].label, "control");
+  EXPECT_FALSE(results[1].experiment->config().riptide_enabled);
+}
+
+TEST(ParallelRunnerTest, SetupHookRunsBeforeRun) {
+  std::atomic<int> sampled{0};
+  RunSpec spec;
+  spec.label = "hooked";
+  spec.config = small_config(1);
+  spec.setup = [&sampled](cdn::Experiment& exp) {
+    exp.simulator().schedule_periodic(sim::Time::seconds(5),
+                                      sim::Time::seconds(5),
+                                      [&sampled] { ++sampled; });
+  };
+  std::vector<RunSpec> specs;
+  specs.push_back(std::move(spec));
+  const auto results = ParallelRunner(2).run(std::move(specs));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(sampled.load(), 4);  // 20 s duration / 5 s period
+}
+
+TEST(ParallelRunnerTest, ExceptionFromLowestFailingRunPropagates) {
+  std::vector<RunSpec> specs;
+  specs.push_back(RunSpec{"ok", small_config(1), nullptr});
+  specs.push_back(RunSpec{"bad", small_config(2),
+                          [](cdn::Experiment&) {
+                            throw std::runtime_error("setup failed");
+                          }});
+  EXPECT_THROW(ParallelRunner(2).run(std::move(specs)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace riptide::runner

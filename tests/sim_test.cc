@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -180,6 +183,164 @@ TEST(SimulatorTest, EventsExecutedCounter) {
   sim.run();
   EXPECT_EQ(sim.events_executed(), 4u);
   EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// ----------------------------------------------- slab + handle lifecycle
+
+TEST(SimulatorTest, HandleInvalidAfterOneShotFires) {
+  Simulator sim;
+  auto handle = sim.schedule(Time::seconds(1), [] {});
+  EXPECT_TRUE(handle.valid());
+  sim.run();
+  EXPECT_FALSE(handle.valid());
+  handle.cancel();  // must be a harmless no-op
+}
+
+TEST(SimulatorTest, StaleHandleDoesNotCancelSlotReuser) {
+  Simulator sim;
+  bool second_ran = false;
+  auto first = sim.schedule(Time::seconds(1), [] {});
+  first.cancel();
+  // The freed slot is reused (bumped generation) by the next schedule.
+  auto second = sim.schedule(Time::seconds(2), [&] { second_ran = true; });
+  EXPECT_FALSE(first.valid());
+  first.cancel();  // stale: generation mismatch, must not touch `second`
+  EXPECT_TRUE(second.valid());
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SimulatorTest, CancelInsideOwnPeriodicCallback) {
+  Simulator sim;
+  int fires = 0;
+  EventHandle handle;
+  handle = sim.schedule_periodic(Time::seconds(1), Time::seconds(1), [&] {
+    if (++fires == 3) handle.cancel();
+  });
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(handle.valid());
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.live_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelOtherEventFromCallback) {
+  Simulator sim;
+  bool victim_ran = false;
+  auto victim = sim.schedule(Time::seconds(2), [&] { victim_ran = true; });
+  sim.schedule(Time::seconds(1), [&] { victim.cancel(); });
+  sim.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, MoveOnlyCallbackCapture) {
+  Simulator sim;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  sim.schedule(Time::seconds(1),
+               [p = std::move(payload), &seen] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SimulatorTest, ThrowingCallbackReleasesSlotAndPropagates) {
+  Simulator sim;
+  sim.schedule(Time::seconds(1), [] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(sim.run(), std::runtime_error);
+  EXPECT_EQ(sim.live_events(), 0u);
+}
+
+// Regression for the cancelled-timer leak: a connection-heavy workload
+// schedules and immediately cancels millions of RTO-style timers. Lazy
+// cancellation must not let the dead entries accumulate — compaction has
+// to keep the queue proportional to the *live* event count.
+TEST(SimulatorTest, MassCancellationKeepsQueueBounded) {
+  Simulator sim;
+  constexpr int kTimers = 1'000'000;
+  std::size_t peak = 0;
+  for (int i = 0; i < kTimers; ++i) {
+    auto h = sim.schedule(Time::seconds(100), [] {});
+    h.cancel();
+    peak = std::max(peak, sim.pending_events());
+  }
+  // One live event would make the bound 2*(1)+64; with zero live events
+  // the compaction threshold alone caps the queue.
+  EXPECT_LE(sim.pending_events(), 128u);
+  EXPECT_LE(peak, 128u);
+  EXPECT_EQ(sim.live_events(), 0u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, MassCancellationWithLiveEventsStaysProportional) {
+  Simulator sim;
+  constexpr int kLive = 100;
+  for (int i = 0; i < kLive; ++i) {
+    sim.schedule(Time::seconds(1 + i), [] {});
+  }
+  for (int i = 0; i < 100'000; ++i) {
+    auto h = sim.schedule(Time::seconds(200), [] {});
+    h.cancel();
+  }
+  // Bound: cancelled <= live + compact threshold.
+  EXPECT_LE(sim.pending_events(), 2u * kLive + 64u);
+  EXPECT_EQ(sim.live_events(), static_cast<std::size_t>(kLive));
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), static_cast<std::uint64_t>(kLive));
+}
+
+TEST(SimulatorTest, RearmPatternManyGenerations) {
+  Simulator sim;
+  EventHandle rto;
+  int fired = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    rto.cancel();
+    rto = sim.schedule(Time::milliseconds(200), [&] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1);  // only the last armed timer fires
+}
+
+// ----------------------------------------------------------------Callback
+
+TEST(CallbackTest, SmallCaptureStoredInline) {
+  int x = 0;
+  Callback cb([&x] { ++x; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(CallbackTest, LargeCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, exceeds the buffer
+  big[31] = 7;
+  std::uint64_t seen = 0;
+  Callback cb([big, &seen] { seen = big[31]; });
+  cb();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(CallbackTest, MovePreservesTarget) {
+  int calls = 0;
+  Callback a([&calls] { ++calls; });
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  Callback c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(CallbackTest, DestructorRunsCapturedState) {
+  auto counter = std::make_shared<int>(0);
+  {
+    Callback cb([counter] { ++*counter; });
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // capture destroyed with the callback
 }
 
 // -------------------------------------------------------------------- Rng

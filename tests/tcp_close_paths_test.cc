@@ -26,6 +26,9 @@ struct Pair {
         server_saw_fin = true;
         if (auto_close_server) server->close();
       };
+      cbs.on_data = [this](std::uint64_t bytes) {
+        server_received += bytes;
+      };
       conn.set_callbacks(std::move(cbs));
     });
     TcpConnection::Callbacks cbs;
@@ -42,6 +45,9 @@ struct Pair {
   bool client_closed = false, server_closed = false;
   bool client_reset = false, server_reset = false;
   bool client_saw_fin = false, server_saw_fin = false;
+  // Accumulated via on_data: the connection objects are destroyed once
+  // teardown completes, so post-run assertions must not touch them.
+  std::uint64_t server_received = 0;
 };
 
 TEST(ClosePathsTest, SimultaneousCloseBothReachClosed) {
@@ -84,7 +90,6 @@ TEST(ClosePathsTest, LostFinIsRetransmitted) {
   EXPECT_EQ(fins_dropped, 1);
   EXPECT_TRUE(pair.server_saw_fin);
   EXPECT_TRUE(pair.client_closed);
-  EXPECT_GE(pair.client->stats().retransmissions, 0u);  // torn down; no UB
   EXPECT_EQ(net.a.connection_count(), 0u);
 }
 
@@ -118,7 +123,7 @@ TEST(ClosePathsTest, CloseRequestedBeforeEstablishedStillHandshakes) {
   EXPECT_TRUE(pair.client->close_requested());
   net.sim.run_until(Time::seconds(20));
   // Handshake completes, queued data drains, FIN follows, all tears down.
-  EXPECT_EQ(pair.server->bytes_received(), 10'000u);
+  EXPECT_EQ(pair.server_received, 10'000u);
   EXPECT_TRUE(pair.client_closed);
   EXPECT_FALSE(pair.client_reset);
   EXPECT_EQ(net.a.connection_count(), 0u);

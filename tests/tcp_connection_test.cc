@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "host/host.h"
 #include "test_util.h"
@@ -43,9 +45,12 @@ struct FetchResult {
 };
 
 // Opens a connection a->b, requests one object, records completion time.
+// Results are parked in a process-lifetime arena: the callbacks capture
+// the pointer, and the connection can outlive the calling scope.
 FetchResult* fetch_object(TwoHostNet& net, std::uint64_t object_bytes,
                           std::uint16_t port = kPort) {
-  auto* result = new FetchResult();  // lives for the test duration
+  static std::vector<std::unique_ptr<FetchResult>> arena;
+  auto* result = arena.emplace_back(std::make_unique<FetchResult>()).get();
   TcpConnection::Callbacks cbs;
   cbs.on_established = [result] { result->conn->send(200); };
   cbs.on_data = [result, object_bytes, &net](std::uint64_t bytes) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# CI entry point: build + test the two configurations that matter.
+#
+#   1. Release        — the configuration benches and figure reproductions
+#                       use; catches optimizer-dependent breakage.
+#   2. Debug+ASan/UBSan — memory and UB errors in the event-queue slab,
+#                       the SBO callback, and the thread-pool fan-out.
+#
+# Usage: tools/ci.sh [jobs]   (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"; shift
+  echo "==== configure $dir ($*) ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==== build $dir ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== test $dir ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+
+run_config build-ci-asan \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DRIPTIDE_SANITIZE=ON
+
+echo "==== event-queue throughput (Release) ===="
+./build-ci-release/bench/bench_micro --queue-json
+
+echo "CI passed."

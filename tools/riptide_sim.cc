@@ -11,15 +11,23 @@
 //               [--interval SECONDS] [--ttl SECONDS]
 //               [--combiner avg|max|weighted] [--prefix-granularity]
 //               [--probe-interval SECONDS] [--wan-loss P] [--organic POP]
-//               [--pacing]
+//               [--pacing] [--threads N] [--sweep-seeds A,B,C]
+//
+// With --sweep-seeds, the same scenario is run once per seed — fanned
+// across --threads workers (default: one per hardware thread) — and a
+// per-seed summary plus seed-merged percentiles are printed.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cdn/experiment.h"
 #include "cdn/pops.h"
+#include "runner/parallel_runner.h"
+#include "runner/sweep.h"
+#include "runner/task_pool.h"
 
 using namespace riptide;
 
@@ -31,6 +39,8 @@ struct Options {
   double duration_s = 120;
   std::uint64_t seed = 1;
   bool riptide = true;
+  unsigned threads = 0;
+  std::vector<std::uint64_t> sweep_seeds;
   cdn::ExperimentConfig config;
 };
 
@@ -40,7 +50,8 @@ struct Options {
                "  [--riptide 0|1] [--cmax N] [--cmin N] [--alpha F]\n"
                "  [--interval S] [--ttl S] [--combiner avg|max|weighted]\n"
                "  [--prefix-granularity] [--probe-interval S]\n"
-               "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n",
+               "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n"
+               "  [--threads N] [--sweep-seeds A,B,C]\n",
                argv0);
   std::exit(2);
 }
@@ -101,12 +112,24 @@ Options parse(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(need_value(i))));
     } else if (arg == "--pacing") {
       opt.config.topology.host_tcp.pacing = true;
+    } else if (arg == "--threads") {
+      opt.threads = static_cast<unsigned>(std::atoi(need_value(i)));
+    } else if (arg == "--sweep-seeds") {
+      const char* p = need_value(i);
+      while (*p != '\0') {
+        char* end = nullptr;
+        opt.sweep_seeds.push_back(std::strtoull(p, &end, 10));
+        if (end == p) usage(argv[0]);
+        p = (*end == ',') ? end + 1 : end;
+      }
     } else {
       usage(argv[0]);
     }
   }
   return opt;
 }
+
+void print_summary(const cdn::Experiment& exp);
 
 }  // namespace
 
@@ -126,15 +149,54 @@ int main(int argc, char** argv) {
   opt.config.duration = sim::Time::from_seconds(opt.duration_s);
   opt.config.seed = opt.seed;
 
+  std::vector<std::uint64_t> seeds =
+      opt.sweep_seeds.empty() ? std::vector<std::uint64_t>{opt.seed}
+                              : opt.sweep_seeds;
+
   std::printf("riptide_sim: %zu PoPs x %d hosts, %.0f s simulated, "
-              "riptide=%s, seed=%llu\n",
+              "riptide=%s, %zu seed(s) on %u worker(s)\n",
               opt.pops, opt.hosts, opt.duration_s,
-              opt.riptide ? "on" : "off",
-              static_cast<unsigned long long>(opt.seed));
+              opt.riptide ? "on" : "off", seeds.size(),
+              runner::effective_threads(opt.threads, seeds.size()));
 
-  cdn::Experiment exp(opt.config);
-  exp.run();
+  const auto results = runner::ParallelRunner(opt.threads)
+                           .run(runner::SweepSpec(opt.config)
+                                    .seeds(seeds)
+                                    .materialize());
 
+  if (results.size() == 1) {
+    print_summary(*results.front().experiment);
+    return 0;
+  }
+
+  // Seed sweep: per-seed compact rows plus seed-merged percentiles — the
+  // campaign view the paper's distributional claims rest on.
+  std::printf("\nper-seed 100 KB probe completion (ms):\n");
+  std::printf("  %12s %10s %10s %10s %10s %9s\n", "seed", "p50", "p75",
+              "p90", "n", "wall s");
+  stats::Cdf merged;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto cdf = results[i].experiment->metrics().completion_cdf(
+        [](const cdn::FlowRecord& f) { return f.object_bytes == 100'000; });
+    merged.add_all(cdf.sorted_samples());
+    std::printf("  %12llu %10.0f %10.0f %10.0f %10zu %9.2f\n",
+                static_cast<unsigned long long>(seeds[i]),
+                cdf.empty() ? 0.0 : cdf.percentile(50),
+                cdf.empty() ? 0.0 : cdf.percentile(75),
+                cdf.empty() ? 0.0 : cdf.percentile(90), cdf.count(),
+                results[i].wall_seconds);
+  }
+  if (!merged.empty()) {
+    std::printf("  %12s %10.0f %10.0f %10.0f %10zu\n", "merged",
+                merged.percentile(50), merged.percentile(75),
+                merged.percentile(90), merged.count());
+  }
+  return 0;
+}
+
+namespace {
+
+void print_summary(const cdn::Experiment& exp) {
   std::printf("\nprobe completion times (ms), all sources:\n");
   std::printf("  %8s %10s %10s %10s %10s\n", "size", "p50", "p75", "p90",
               "n");
@@ -178,5 +240,6 @@ int main(int argc, char** argv) {
                   state.final_window_segments);
     }
   }
-  return 0;
 }
+
+}  // namespace
