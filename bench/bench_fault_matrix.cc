@@ -1,0 +1,276 @@
+// Fault matrix: probe completion percentiles and safety counters under a
+// battery of injected failures, treatment (Riptide on) vs control, fanned
+// across --threads workers via the parallel runner.
+//
+// Each scenario is a declarative FaultPlan (see src/faults/fault_plan.h
+// for the spec grammar). Network faults hit both arms identically;
+// agent-side faults (actuator, poll, crash) only have a subject in the
+// treatment arm. The interesting outputs are (a) how much of the
+// no-fault gain survives each failure mode, and (b) the safety metric:
+// retransmissions/timeouts must not blow up because a hardened agent kept
+// pushing stale windows.
+//
+//   --spec "<fault spec>"   run one custom scenario instead of the matrix
+//   --duration S            simulated seconds per run (default 150)
+//   --pops N                leading PoPs of the paper roster (default 6)
+//   --threads/--seeds/--json as every bench
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cdn/experiment.h"
+#include "faults/harness.h"
+#include "runner/parallel_runner.h"
+#include "runner/sweep.h"
+#include "runner/task_pool.h"
+#include "bench_util.h"
+
+using namespace riptide;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::string spec;  // FaultPlan::parse grammar; empty = no faults
+};
+
+std::vector<Scenario> default_matrix() {
+  return {
+      {"baseline", ""},
+      {"link-flap", "@30 flap 0-1 5 6"},
+      {"loss-burst", "@30 loss 0-1 0.05 30"},
+      {"degrade", "@30 rate 0-1 0.25 30; @30 delay 0-1 50 30"},
+      {"actuator-30", "@10 actuator-fail 0.3 60"},
+      {"poll-fail", "@10 poll-fail 0.5 60"},
+      {"poll-partial", "@10 poll-partial 0.5 60"},
+      {"crash-cold", "@60 crash -1 10 cold"},
+      {"crash-warm", "@60 crash -1 10 warm"},
+      {"combined", "@20 flap 0-1 5 6; @40 actuator-fail 0.3 40; "
+                   "@80 loss 0-1 0.05 20"},
+  };
+}
+
+// Sum of the hardening counters across an experiment's agents.
+core::AgentStats agent_totals(const cdn::Experiment& e) {
+  core::AgentStats total;
+  for (const auto& agent : e.agents()) {
+    const core::AgentStats& s = agent->stats();
+    total.polls += s.polls;
+    total.routes_set += s.routes_set;
+    total.routes_expired += s.routes_expired;
+    total.polls_failed += s.polls_failed;
+    total.actuator_failures += s.actuator_failures;
+    total.actuator_retries += s.actuator_retries;
+    total.actuator_dead_letters += s.actuator_dead_letters;
+    total.staleness_decays += s.staleness_decays;
+    total.staleness_withdrawals += s.staleness_withdrawals;
+    total.crashes += s.crashes;
+    total.restarts += s.restarts;
+    total.routes_adopted += s.routes_adopted;
+  }
+  return total;
+}
+
+// Completion CDF for `size`-byte probes from every source, merged across
+// the runs of one scenario arm.
+stats::Cdf merged_cdf(const std::vector<const cdn::Experiment*>& runs,
+                      std::uint64_t size) {
+  stats::Cdf merged;
+  for (const cdn::Experiment* run : runs) {
+    const std::size_t pops = run->topology().pop_count();
+    for (std::size_t src = 0; src < pops; ++src) {
+      merged.add_all(
+          run->probe_cdf(static_cast<int>(src), size).sorted_samples());
+    }
+  }
+  return merged;
+}
+
+struct Options {
+  bench::BenchOptions base;
+  std::string custom_spec;
+  bool has_custom = false;
+  double duration_s = 150.0;
+  std::size_t pops = 6;
+};
+
+Options parse_args(int argc, char** argv) {
+  bench::warn_if_unoptimized();
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      opt.base.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      opt.base.seeds.clear();
+      const char* p = argv[++i];
+      while (*p != '\0') {
+        char* end = nullptr;
+        opt.base.seeds.push_back(std::strtoull(p, &end, 10));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (opt.base.seeds.empty()) opt.base.seeds = {1};
+    } else if (arg == "--json") {
+      opt.base.json = true;
+    } else if (arg == "--spec" && i + 1 < argc) {
+      opt.custom_spec = argv[++i];
+      opt.has_custom = true;
+    } else if (arg == "--duration" && i + 1 < argc) {
+      opt.duration_s = std::atof(argv[++i]);
+    } else if (arg == "--pops" && i + 1 < argc) {
+      opt.pops = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--seeds a,b,c] [--json] "
+                   "[--spec \"<fault spec>\"] [--duration S] [--pops N]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  auto base = bench::paper_world(/*riptide=*/true);
+  if (opt.pops > 0 && opt.pops < base.pop_specs.size()) {
+    base.pop_specs.resize(opt.pops);
+  }
+  base.duration = sim::Time::from_seconds(opt.duration_s);
+  // The hardening paths under test: staleness guard on, adoption on.
+  base.riptide.staleness_guard = true;
+
+  const std::vector<Scenario> matrix =
+      opt.has_custom ? std::vector<Scenario>{{"custom", opt.custom_spec}}
+                     : default_matrix();
+
+  runner::SweepSpec sweep(base);
+  sweep.seeds(opt.base.seeds).treatment_control();
+  for (const Scenario& scenario : matrix) {
+    // Parse eagerly so a bad spec dies with its message, not inside a
+    // worker thread.
+    faults::FaultPlan plan = faults::FaultPlan::parse(scenario.spec);
+    sweep.variant(scenario.name,
+                  [plan = std::move(plan)](cdn::ExperimentConfig& config) {
+                    faults::FaultHarness::install(config, plan);
+                  });
+  }
+
+  const runner::ParallelRunner pool(opt.base.threads);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = pool.run(sweep.materialize());
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+
+  constexpr std::uint64_t kProbeBytes = 50'000;
+  const std::size_t runs_per_scenario = opt.base.seeds.size() * 2;
+
+  std::printf("fault matrix: %zu scenario(s) x %zu seed(s) x "
+              "{treatment, control}, %zu PoPs, %.0f s simulated, "
+              "%llu-byte probes\n",
+              matrix.size(), opt.base.seeds.size(), base.pop_specs.size(),
+              opt.duration_s, static_cast<unsigned long long>(kProbeBytes));
+  bench::print_rule();
+  std::printf("%-14s %-10s %8s %8s %8s %7s %9s %8s %9s %7s %7s %6s %6s\n",
+              "scenario", "arm", "p50", "p90", "p99", "n", "retrans",
+              "timeouts", "linkdown", "actfail", "retries", "dead",
+              "stale");
+
+  for (std::size_t s = 0; s < matrix.size(); ++s) {
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool is_treatment = arm == 0;
+      std::vector<const cdn::Experiment*> runs;
+      std::uint64_t retrans = 0, timeouts = 0;
+      cdn::Topology::DropTotals drops;
+      core::AgentStats agents;
+      for (std::size_t seed = 0; seed < opt.base.seeds.size(); ++seed) {
+        const std::size_t index =
+            s * runs_per_scenario + seed * 2 + static_cast<std::size_t>(arm);
+        const cdn::Experiment& e = *results[index].experiment;
+        runs.push_back(&e);
+        retrans += e.topology().total_retransmissions();
+        timeouts += e.topology().total_timeouts();
+        const auto d = e.topology().drop_totals();
+        drops.queue_full += d.queue_full;
+        drops.random_loss += d.random_loss;
+        drops.link_down += d.link_down;
+        drops.no_route += d.no_route;
+        const auto a = agent_totals(e);
+        agents.polls_failed += a.polls_failed;
+        agents.actuator_failures += a.actuator_failures;
+        agents.actuator_retries += a.actuator_retries;
+        agents.actuator_dead_letters += a.actuator_dead_letters;
+        agents.staleness_decays += a.staleness_decays;
+        agents.staleness_withdrawals += a.staleness_withdrawals;
+        agents.crashes += a.crashes;
+        agents.restarts += a.restarts;
+      }
+      const stats::Cdf cdf = merged_cdf(runs, kProbeBytes);
+      const char* arm_name = is_treatment ? "treatment" : "control";
+      if (cdf.empty()) {
+        std::printf("%-14s %-10s  (no samples)\n", matrix[s].name.c_str(),
+                    arm_name);
+        continue;
+      }
+      std::printf("%-14s %-10s %8.1f %8.1f %8.1f %7zu %9llu %8llu %9llu "
+                  "%7llu %7llu %6llu %6llu\n",
+                  matrix[s].name.c_str(), arm_name, cdf.percentile(50),
+                  cdf.percentile(90), cdf.percentile(99), cdf.count(),
+                  static_cast<unsigned long long>(retrans),
+                  static_cast<unsigned long long>(timeouts),
+                  static_cast<unsigned long long>(drops.link_down),
+                  static_cast<unsigned long long>(agents.actuator_failures),
+                  static_cast<unsigned long long>(agents.actuator_retries),
+                  static_cast<unsigned long long>(agents.actuator_dead_letters),
+                  static_cast<unsigned long long>(
+                      agents.staleness_decays + agents.staleness_withdrawals));
+      if (opt.base.json) {
+        std::printf(
+            "{\"bench\":\"fault_matrix\",\"scenario\":\"%s\",\"arm\":\"%s\","
+            "\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"samples\":%zu,"
+            "\"drops\":{\"queue_full\":%llu,\"random_loss\":%llu,"
+            "\"link_down\":%llu,\"no_route\":%llu},"
+            "\"retransmissions\":%llu,\"timeouts\":%llu,"
+            "\"agent\":{\"polls_failed\":%llu,\"actuator_failures\":%llu,"
+            "\"actuator_retries\":%llu,\"actuator_dead_letters\":%llu,"
+            "\"staleness_decays\":%llu,\"staleness_withdrawals\":%llu,"
+            "\"crashes\":%llu,\"restarts\":%llu}}\n",
+            matrix[s].name.c_str(), arm_name, cdf.percentile(50),
+            cdf.percentile(90), cdf.percentile(99), cdf.count(),
+            static_cast<unsigned long long>(drops.queue_full),
+            static_cast<unsigned long long>(drops.random_loss),
+            static_cast<unsigned long long>(drops.link_down),
+            static_cast<unsigned long long>(drops.no_route),
+            static_cast<unsigned long long>(retrans),
+            static_cast<unsigned long long>(timeouts),
+            static_cast<unsigned long long>(agents.polls_failed),
+            static_cast<unsigned long long>(agents.actuator_failures),
+            static_cast<unsigned long long>(agents.actuator_retries),
+            static_cast<unsigned long long>(agents.actuator_dead_letters),
+            static_cast<unsigned long long>(agents.staleness_decays),
+            static_cast<unsigned long long>(agents.staleness_withdrawals),
+            static_cast<unsigned long long>(agents.crashes),
+            static_cast<unsigned long long>(agents.restarts));
+      }
+    }
+  }
+
+  double sum_run_seconds = 0.0;
+  for (const auto& result : results) sum_run_seconds += result.wall_seconds;
+  std::printf("sweep: %zu runs on %u worker(s): %.2f s wall, %.2f s summed "
+              "run time\n",
+              results.size(),
+              runner::effective_threads(opt.base.threads, results.size()),
+              sweep_seconds, sum_run_seconds);
+  return 0;
+}

@@ -156,6 +156,13 @@ int main(int argc, char** argv) {
               runner::effective_threads(opt.threads, results.size()),
               sweep_seconds, sum_run_seconds);
   if (opt.json) {
+    // One line per run (arm + seed) so drop/safety counters stay
+    // attributable, then the sweep summary line.
+    for (const auto& result : results) {
+      std::printf("{\"bench\":\"fig15_16\",\"run\":\"%s\",%s}\n",
+                  result.label.c_str(),
+                  bench::safety_counters_json(*result.experiment).c_str());
+    }
     std::printf("{\"bench\":\"fig15_16\",\"runs\":%zu,\"threads\":%u,"
                 "\"wall_seconds\":%.3f,\"sum_run_seconds\":%.3f}\n",
                 results.size(),

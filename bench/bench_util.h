@@ -122,6 +122,26 @@ inline cdn::ExperimentConfig paper_world(bool riptide_enabled,
   return config;
 }
 
+// Per-reason drop counters and loss-recovery totals for one run, as a JSON
+// fragment (key:value pairs, no surrounding braces) — appended to bench
+// JSON lines so degraded runs are explainable from the emitted record.
+inline std::string safety_counters_json(const cdn::Experiment& e) {
+  const auto drops = e.topology().drop_totals();
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "\"drops\":{\"queue_full\":%llu,\"random_loss\":%llu,"
+      "\"link_down\":%llu,\"no_route\":%llu},"
+      "\"retransmissions\":%llu,\"timeouts\":%llu",
+      static_cast<unsigned long long>(drops.queue_full),
+      static_cast<unsigned long long>(drops.random_loss),
+      static_cast<unsigned long long>(drops.link_down),
+      static_cast<unsigned long long>(drops.no_route),
+      static_cast<unsigned long long>(e.topology().total_retransmissions()),
+      static_cast<unsigned long long>(e.topology().total_timeouts()));
+  return buf;
+}
+
 inline int find_pop(const std::vector<cdn::PopSpec>& specs,
                     const std::string& name) {
   for (std::size_t i = 0; i < specs.size(); ++i) {

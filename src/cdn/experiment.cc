@@ -75,8 +75,17 @@ void Experiment::build() {
   // One Riptide agent per host — fully distributed, no coordination.
   if (config_.riptide_enabled) {
     for (host::Host* host : topo.all_hosts()) {
+      std::unique_ptr<core::RouteProgrammer> programmer;
+      if (config_.route_programmer_factory) {
+        programmer = config_.route_programmer_factory(*this, *host);
+      }
+      std::unique_ptr<core::SocketStatsSource> stats_source;
+      if (config_.socket_stats_factory) {
+        stats_source = config_.socket_stats_factory(*this, *host);
+      }
       agents_.push_back(std::make_unique<core::RiptideAgent>(
-          sim_, *host, config_.riptide));
+          sim_, *host, config_.riptide, std::move(programmer),
+          std::move(stats_source), rng_.get()));
       agents_.back()->start();
     }
   }
@@ -95,6 +104,10 @@ void Experiment::build() {
           }
         }
       });
+
+  if (config_.extension_factory) {
+    extension_ = config_.extension_factory(*this);
+  }
 }
 
 void Experiment::run() { sim_.run_until(config_.duration); }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "stats/cdf.h"
 
 namespace riptide::cdn {
+
+class Experiment;
 
 // A complete closed-loop scenario: the simulated CDN, probe mesh, optional
 // organic traffic, optional Riptide agents on every host, and the periodic
@@ -47,6 +50,20 @@ struct ExperimentConfig {
   std::uint64_t min_bytes_for_cwnd_sample = 5000;
 
   std::uint64_t seed = 1;
+
+  // Dependency-injection seams for fault harnesses and instrumented tests.
+  // When set, build() asks the factory for each agent's actuator / `ss`
+  // surface instead of the host-backed defaults. Factories must be pure
+  // functions of their arguments (configs are copied across sweep workers).
+  std::function<std::unique_ptr<core::RouteProgrammer>(Experiment&,
+                                                       host::Host&)>
+      route_programmer_factory;
+  std::function<std::unique_ptr<core::SocketStatsSource>(Experiment&,
+                                                         host::Host&)>
+      socket_stats_factory;
+  // Called once at the end of build(), after agents exist and started; the
+  // result is retained for the experiment's lifetime (see extension()).
+  std::function<std::shared_ptr<void>(Experiment&)> extension_factory;
 };
 
 class Experiment {
@@ -65,6 +82,10 @@ class Experiment {
   const std::vector<std::unique_ptr<core::RiptideAgent>>& agents() const {
     return agents_;
   }
+
+  // Whatever extension_factory attached (e.g. a faults::FaultHarness);
+  // null when no factory was configured.
+  const std::shared_ptr<void>& extension() const { return extension_; }
 
   // Completion-time CDF (ms) for probes of `object_bytes` from `src_pop`,
   // optionally restricted to one destination PoP (dst_pop >= 0) and/or
@@ -85,6 +106,7 @@ class Experiment {
   std::vector<std::unique_ptr<ProbeClient>> probe_clients_;
   std::vector<std::unique_ptr<OrganicSource>> organic_sources_;
   std::vector<std::unique_ptr<core::RiptideAgent>> agents_;
+  std::shared_ptr<void> extension_;
 };
 
 // Percentile-by-percentile improvement of `treatment` over `baseline`

@@ -120,4 +120,30 @@ net::Link& Topology::wan_link(std::size_t from, std::size_t to) {
   return *link;
 }
 
+Topology::DropTotals Topology::drop_totals() const {
+  DropTotals totals;
+  for (const auto& link : links_) {
+    const net::LinkStats& s = link->stats();
+    totals.queue_full += s.drops_queue_full;
+    totals.random_loss += s.drops_random_loss;
+    totals.link_down += s.drops_link_down;
+  }
+  for (const auto& router : routers_) {
+    totals.no_route += router->no_route_drops();
+  }
+  return totals;
+}
+
+std::uint64_t Topology::total_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& host : hosts_) total += host->total_retransmissions();
+  return total;
+}
+
+std::uint64_t Topology::total_timeouts() const {
+  std::uint64_t total = 0;
+  for (const auto& host : hosts_) total += host->total_timeouts();
+  return total;
+}
+
 }  // namespace riptide::cdn

@@ -67,6 +67,21 @@ class Topology {
   // queue inspection in tests). Precondition: from != to.
   net::Link& wan_link(std::size_t from, std::size_t to);
 
+  // Per-reason drop totals across every link and router in the topology,
+  // so fault runs are explainable from counters alone.
+  struct DropTotals {
+    std::uint64_t queue_full = 0;
+    std::uint64_t random_loss = 0;
+    std::uint64_t link_down = 0;
+    std::uint64_t no_route = 0;
+  };
+  DropTotals drop_totals() const;
+
+  // Loss-recovery activity summed over every host (live + closed
+  // connections) — the safety metric of the fault benches.
+  std::uint64_t total_retransmissions() const;
+  std::uint64_t total_timeouts() const;
+
   sim::Simulator& simulator() { return sim_; }
   sim::Rng& rng() { return rng_; }
   const TopologyConfig& config() const { return config_; }

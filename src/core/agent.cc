@@ -10,13 +10,19 @@ namespace riptide::core {
 
 RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
                            RiptideConfig config,
-                           std::unique_ptr<RouteProgrammer> programmer)
+                           std::unique_ptr<RouteProgrammer> programmer,
+                           std::unique_ptr<SocketStatsSource> stats_source,
+                           sim::Rng* rng)
     : sim_(sim),
       host_(host),
       config_(config),
       programmer_(programmer ? std::move(programmer)
                              : std::make_unique<HostRouteProgrammer>(host)),
-      combiner_(make_combiner(config.combiner)) {
+      stats_source_(stats_source
+                        ? std::move(stats_source)
+                        : std::make_unique<HostSocketStatsSource>(host)),
+      combiner_(make_combiner(config.combiner)),
+      rng_(rng) {
   if (config_.alpha < 0.0 || config_.alpha > 1.0) {
     throw std::invalid_argument("RiptideAgent: alpha outside [0, 1]");
   }
@@ -27,12 +33,42 @@ RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
       (config_.prefix_length < 1 || config_.prefix_length > 32)) {
     throw std::invalid_argument("RiptideAgent: bad prefix_length");
   }
+  if (config_.poll_jitter_fraction < 0.0 ||
+      config_.poll_jitter_fraction > 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: poll_jitter_fraction outside [0, 1]");
+  }
+  if (config_.poll_jitter_fraction > 0.0 && rng_ == nullptr) {
+    throw std::invalid_argument("RiptideAgent: poll jitter requires an Rng");
+  }
+  if (config_.staleness_decay <= 0.0 || config_.staleness_decay >= 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: staleness_decay outside (0, 1)");
+  }
+  if (config_.staleness_retrans_fraction <= 0.0 ||
+      config_.staleness_retrans_fraction > 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: staleness_retrans_fraction outside (0, 1]");
+  }
 }
 
 void RiptideAgent::start() {
   if (running_) return;
   running_ = true;
-  poll_timer_ = sim_.schedule_periodic(config_.update_interval,
+  if (started_once_) ++stats_.restarts;
+  started_once_ = true;
+
+  if (config_.adopt_routes_on_start) adopt_existing_routes();
+
+  // Deterministic per-agent phase offset: co-located agents started at the
+  // same instant otherwise poll — and program routes — in lockstep.
+  sim::Time phase = sim::Time::zero();
+  if (config_.poll_jitter_fraction > 0.0) {
+    phase = sim::Time::from_seconds(config_.poll_jitter_fraction *
+                                    config_.update_interval.to_seconds() *
+                                    rng_->uniform(0.0, 1.0));
+  }
+  poll_timer_ = sim_.schedule_periodic(config_.update_interval + phase,
                                        config_.update_interval,
                                        [this] { poll_once(); });
 }
@@ -40,6 +76,41 @@ void RiptideAgent::start() {
 void RiptideAgent::stop() {
   running_ = false;
   poll_timer_.cancel();
+  cancel_pending_ops();
+}
+
+void RiptideAgent::crash() {
+  poll_timer_.cancel();
+  running_ = false;
+  cancel_pending_ops();
+  // The process is gone: in-memory learned state is lost, but routes it
+  // installed remain in the host routing table.
+  table_ = ObservedTable{};
+  seen_counters_.clear();
+  ++stats_.crashes;
+}
+
+void RiptideAgent::restore_table(ObservedTable snapshot) {
+  table_ = std::move(snapshot);
+}
+
+void RiptideAgent::adopt_existing_routes() {
+  // A previous incarnation (before a crash) may have left routes behind.
+  // Adopt them, aged from now: they stay effective while fresh traffic
+  // confirms them, and TTL expiry withdraws them otherwise — without this
+  // a stale oversized window would outlive the process that learned it
+  // indefinitely.
+  const sim::Time now = sim_.now();
+  for (const auto& entry : host_.routing_table().entries()) {
+    if (entry.prefix.length() == 0) continue;          // default route
+    if (entry.metrics.initcwnd_segments == 0) continue;  // not ours
+    if (table_.contains(entry.prefix)) continue;       // warm-restored
+    table_.store_final(
+        entry.prefix,
+        clamp_window(static_cast<double>(entry.metrics.initcwnd_segments)),
+        now);
+    ++stats_.routes_adopted;
+  }
 }
 
 net::Prefix RiptideAgent::destination_key(net::Ipv4Address peer) const {
@@ -52,17 +123,179 @@ double RiptideAgent::clamp_window(double value) const {
                     static_cast<double>(config_.c_max));
 }
 
+// ------------------------------------------------------------------------
+// Actuator path with bounded retry.
+
+void RiptideAgent::program_route(const net::Prefix& dst,
+                                 std::uint32_t initcwnd,
+                                 std::uint32_t initrwnd) {
+  try {
+    programmer_->set_initial_windows(dst, initcwnd, initrwnd);
+  } catch (const std::exception&) {
+    ++stats_.actuator_failures;
+    handle_actuator_failure(dst, initcwnd, initrwnd, /*clear=*/false);
+    return;
+  }
+  ++stats_.routes_set;
+  if (const auto it = pending_ops_.find(dst); it != pending_ops_.end()) {
+    it->second.timer.cancel();
+    pending_ops_.erase(it);
+  }
+}
+
+void RiptideAgent::withdraw_route(const net::Prefix& dst) {
+  try {
+    programmer_->clear(dst);
+  } catch (const std::exception&) {
+    ++stats_.actuator_failures;
+    handle_actuator_failure(dst, 0, 0, /*clear=*/true);
+    return;
+  }
+  if (const auto it = pending_ops_.find(dst); it != pending_ops_.end()) {
+    it->second.timer.cancel();
+    pending_ops_.erase(it);
+  }
+}
+
+void RiptideAgent::handle_actuator_failure(const net::Prefix& dst,
+                                           std::uint32_t initcwnd,
+                                           std::uint32_t initrwnd,
+                                           bool clear) {
+  auto& op = pending_ops_[dst];
+  op.timer.cancel();
+  // A newer decision supersedes whatever was pending, but the attempt
+  // count carries over: the actuator has been failing for this
+  // destination the whole time.
+  op.initcwnd = initcwnd;
+  op.initrwnd = initrwnd;
+  op.clear = clear;
+  ++op.attempts;
+  if (op.attempts > config_.actuator_max_retries) {
+    ++stats_.actuator_dead_letters;
+    pending_ops_.erase(dst);
+    return;
+  }
+  ++stats_.actuator_retries;
+  const int shift = static_cast<int>(std::min<std::uint32_t>(
+      op.attempts - 1, 16));  // cap the doubling: backoff stays finite
+  const sim::Time backoff =
+      config_.actuator_backoff * (std::int64_t{1} << shift);
+  op.timer = sim_.schedule(backoff, [this, dst] { retry_pending(dst); });
+}
+
+void RiptideAgent::retry_pending(const net::Prefix& dst) {
+  const auto it = pending_ops_.find(dst);
+  if (it == pending_ops_.end()) return;
+  const PendingOp op = it->second;  // copy: the map may rehome on failure
+  try {
+    if (op.clear) {
+      programmer_->clear(dst);
+    } else {
+      programmer_->set_initial_windows(dst, op.initcwnd, op.initrwnd);
+    }
+  } catch (const std::exception&) {
+    ++stats_.actuator_failures;
+    handle_actuator_failure(dst, op.initcwnd, op.initrwnd, op.clear);
+    return;
+  }
+  if (!op.clear) ++stats_.routes_set;
+  pending_ops_.erase(dst);
+}
+
+void RiptideAgent::cancel_pending_ops() {
+  for (auto& [dst, op] : pending_ops_) op.timer.cancel();
+  pending_ops_.clear();
+}
+
+// ------------------------------------------------------------------------
+// Staleness guard.
+
+std::map<net::Prefix, std::pair<std::uint64_t, std::uint64_t>>
+RiptideAgent::retransmit_deltas(
+    const std::vector<host::SocketInfo>& snapshot) {
+  std::map<net::Prefix, std::pair<std::uint64_t, std::uint64_t>> deltas;
+  if (!config_.staleness_guard) return deltas;
+  for (auto& [tuple, counters] : seen_counters_) {
+    counters.seen_this_poll = false;
+  }
+  for (const auto& info : snapshot) {
+    if (info.state != tcp::TcpState::kEstablished) continue;
+    auto& prev = seen_counters_[info.tuple];
+    // Counters are cumulative per connection; a tuple reappearing with
+    // smaller values is a new connection reusing the tuple.
+    const std::uint64_t d_retrans =
+        info.retransmissions >= prev.retransmissions
+            ? info.retransmissions - prev.retransmissions
+            : info.retransmissions;
+    const std::uint64_t d_sent = info.segments_sent >= prev.segments_sent
+                                     ? info.segments_sent - prev.segments_sent
+                                     : info.segments_sent;
+    prev = SeenCounters{info.retransmissions, info.segments_sent, true};
+    auto& slot = deltas[destination_key(info.tuple.remote_addr)];
+    slot.first += d_retrans;
+    slot.second += d_sent;
+  }
+  std::erase_if(seen_counters_,
+                [](const auto& kv) { return !kv.second.seen_this_poll; });
+  return deltas;
+}
+
+void RiptideAgent::apply_staleness_guard(
+    const std::map<net::Prefix, std::pair<std::uint64_t, std::uint64_t>>&
+        deltas,
+    sim::Time now) {
+  for (const auto& [dst, delta] : deltas) {
+    const auto& [d_retrans, d_sent] = delta;
+    if (d_sent < config_.staleness_min_segments) continue;
+    if (static_cast<double>(d_retrans) <
+        config_.staleness_retrans_fraction * static_cast<double>(d_sent)) {
+      continue;
+    }
+    const DestinationState* state = table_.find(dst);
+    if (state == nullptr) continue;
+    const double decayed =
+        state->final_window_segments * config_.staleness_decay;
+    if (decayed <= static_cast<double>(config_.c_min)) {
+      // The learned window has decayed to the floor and the path is still
+      // hurting: withdraw outright, restoring the default initial window.
+      table_.erase(dst);
+      withdraw_route(dst);
+      ++stats_.staleness_withdrawals;
+    } else {
+      table_.store_final(dst, decayed, now);
+      const auto initcwnd =
+          static_cast<std::uint32_t>(std::lround(decayed));
+      const std::uint32_t initrwnd =
+          config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+      program_route(dst, initcwnd, initrwnd);
+      ++stats_.staleness_decays;
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+
 void RiptideAgent::poll_once() {
   ++stats_.polls;
   const sim::Time now = sim_.now();
 
-  // 1-2. Snapshot open connections, group by destination. Either read the
-  // in-memory table or go through the textual `ss` round-trip, exactly as
-  // the paper's user-space script does.
+  // 1. Snapshot open connections. A failed poll is "no information", not
+  // "no connections": skip folding *and* expiry — withdrawing routes
+  // because the observer glitched would churn windows on healthy paths.
+  std::vector<host::SocketInfo> snapshot;
+  try {
+    snapshot = stats_source_->poll();
+  } catch (const PollError&) {
+    ++stats_.polls_failed;
+    return;
+  }
+
+  // 2. Group by destination. Either read the snapshot directly or go
+  // through the textual `ss` round-trip, exactly as the paper's
+  // user-space script does.
   std::map<net::Prefix, std::vector<Observation>> groups;
   if (config_.via_text_interface) {
-    const std::string text =
-        host::format_socket_stats(host_.socket_stats());
+    const std::string text = host::format_socket_stats(snapshot);
     for (const auto& info : host::parse_socket_stats(text)) {
       if (info.state != tcp::TcpState::kEstablished) continue;
       ++stats_.connections_observed;
@@ -70,7 +303,7 @@ void RiptideAgent::poll_once() {
           static_cast<double>(info.cwnd_segments), info.bytes_acked});
     }
   } else {
-    for (const auto& info : host_.socket_stats()) {
+    for (const auto& info : snapshot) {
       if (info.state != tcp::TcpState::kEstablished) continue;
       ++stats_.connections_observed;
       groups[destination_key(info.tuple.remote_addr)].push_back(
@@ -78,6 +311,11 @@ void RiptideAgent::poll_once() {
                       info.bytes_acked});
     }
   }
+
+  // Retransmit-rate deltas for the staleness guard (empty when disabled).
+  // Computed from the snapshot either way: the text format round-trips
+  // retrans/segs_out, so both surfaces carry identical information.
+  const auto deltas = retransmit_deltas(snapshot);
 
   // 3-5. Combine, fold history, clamp, program.
   for (const auto& [destination, observations] : groups) {
@@ -109,14 +347,19 @@ void RiptideAgent::poll_once() {
         static_cast<std::uint32_t>(std::lround(final_window));
     const std::uint32_t initrwnd =
         config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
-    programmer_->set_initial_windows(destination, initcwnd, initrwnd);
-    ++stats_.routes_set;
+    program_route(destination, initcwnd, initrwnd);
     ++stats_.destinations_updated;
   }
 
+  // §V hardening: destinations retransmitting heavily under a learned
+  // window get decayed or withdrawn, even if their current cwnds still
+  // look healthy (the damage shows in loss recovery before it shows in
+  // the window average).
+  apply_staleness_guard(deltas, now);
+
   // 6. Expire stale destinations, restoring default windows.
   for (const auto& destination : table_.expire(now, config_.ttl)) {
-    programmer_->clear(destination);
+    withdraw_route(destination);
     ++stats_.routes_expired;
   }
 }

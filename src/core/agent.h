@@ -3,13 +3,16 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/combiner.h"
 #include "core/config.h"
 #include "core/observed_table.h"
 #include "core/route_programmer.h"
+#include "core/socket_stats_source.h"
 #include "host/host.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace riptide::core {
@@ -21,6 +24,17 @@ struct AgentStats {
   std::uint64_t routes_set = 0;
   std::uint64_t routes_expired = 0;
   std::uint64_t trend_resets = 0;  // trend-guard triggered (§V)
+
+  // -- degradation paths (agent hardening) --
+  std::uint64_t polls_failed = 0;         // snapshot unavailable, skipped
+  std::uint64_t actuator_failures = 0;    // individual failed program/clear
+  std::uint64_t actuator_retries = 0;     // backoff retries scheduled
+  std::uint64_t actuator_dead_letters = 0;  // ops dropped after max retries
+  std::uint64_t staleness_decays = 0;       // learned window decayed
+  std::uint64_t staleness_withdrawals = 0;  // learned route withdrawn
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;        // start() calls after the first
+  std::uint64_t routes_adopted = 0;  // leftover routes re-aged at start()
 };
 
 // The Riptide agent (paper Algorithm 1). Runs on one host, entirely from
@@ -37,16 +51,43 @@ struct AgentStats {
 // No coordination with any other node, no kernel changes: the agent only
 // reads connection state and writes route metrics, matching the deployment
 // constraints of §II-A.
+//
+// The agent is hardened against its two external dependencies failing:
+// a poll that throws PollError is skipped and counted (no fold, no expiry
+// — a failed snapshot is "no information", not "no connections"), and a
+// failed route program/clear is retried with bounded exponential backoff,
+// landing in a dead-letter counter when the actuator stays broken. The
+// optional staleness guard withdraws learned windows whose destinations
+// retransmit heavily — the Pied-Piper failure mode where a boosted window
+// meets a path that can no longer carry it.
 class RiptideAgent {
  public:
-  // If `programmer` is null, a HostRouteProgrammer on `host` is used.
+  // If `programmer` is null, a HostRouteProgrammer on `host` is used; if
+  // `stats_source` is null, the host's in-memory `ss` surface is used.
+  // `rng` is only required when config.poll_jitter_fraction > 0.
   RiptideAgent(sim::Simulator& sim, host::Host& host, RiptideConfig config,
-               std::unique_ptr<RouteProgrammer> programmer = nullptr);
+               std::unique_ptr<RouteProgrammer> programmer = nullptr,
+               std::unique_ptr<SocketStatsSource> stats_source = nullptr,
+               sim::Rng* rng = nullptr);
 
-  // Begins periodic polling (first poll after one update_interval).
+  // Begins periodic polling (first poll after one update_interval, plus
+  // the configured jitter phase). Adopts leftover Riptide routes from the
+  // host routing table when config.adopt_routes_on_start.
   void start();
   void stop();
   bool running() const { return running_; }
+
+  // Simulates the agent process dying: polling stops, pending actuator
+  // retries are dropped, and the in-memory ObservedTable is lost. Routes
+  // already installed stay behind in the host routing table — exactly the
+  // stale-window hazard the fault benches measure.
+  void crash();
+
+  // Warm-restart support: a periodically persisted table snapshot can be
+  // restored before start() to resume with history instead of re-learning
+  // from scratch.
+  ObservedTable snapshot_table() const { return table_; }
+  void restore_table(ObservedTable snapshot);
 
   // One Algorithm-1 iteration. Exposed so tests and tools can step the
   // agent deterministically.
@@ -73,18 +114,65 @@ class RiptideAgent {
   const AgentStats& stats() const { return stats_; }
   host::Host& host() { return host_; }
 
+  // The actuator / observation surface actually in use (fault harnesses
+  // downcast these to reach their injection knobs).
+  RouteProgrammer& programmer() { return *programmer_; }
+  SocketStatsSource& stats_source() { return *stats_source_; }
+
+  // Route programs/clears awaiting an actuator retry.
+  std::size_t pending_actuator_ops() const { return pending_ops_.size(); }
+
  private:
+  // One observed connection's loss-recovery counters at the previous
+  // poll, for retransmit-rate deltas that survive cumulative counting.
+  struct SeenCounters {
+    std::uint64_t retransmissions = 0;
+    std::uint64_t segments_sent = 0;
+    bool seen_this_poll = false;
+  };
+
+  // A route program or clear that failed and is waiting to be retried.
+  struct PendingOp {
+    std::uint32_t initcwnd = 0;
+    std::uint32_t initrwnd = 0;
+    bool clear = false;
+    std::uint32_t attempts = 0;  // failed attempts so far
+    sim::EventHandle timer;
+  };
+
   double clamp_window(double value) const;
+  void adopt_existing_routes();
+  // Actuator wrappers: perform the op now; on failure, enqueue a retry.
+  void program_route(const net::Prefix& dst, std::uint32_t initcwnd,
+                     std::uint32_t initrwnd);
+  void withdraw_route(const net::Prefix& dst);
+  void handle_actuator_failure(const net::Prefix& dst, std::uint32_t initcwnd,
+                               std::uint32_t initrwnd, bool clear);
+  void retry_pending(const net::Prefix& dst);
+  void cancel_pending_ops();
+  // Staleness guard: per-destination retransmit deltas since last poll.
+  std::map<net::Prefix, std::pair<std::uint64_t, std::uint64_t>>
+  retransmit_deltas(const std::vector<host::SocketInfo>& snapshot);
+  void apply_staleness_guard(
+      const std::map<net::Prefix, std::pair<std::uint64_t, std::uint64_t>>&
+          deltas,
+      sim::Time now);
 
   sim::Simulator& sim_;
   host::Host& host_;
   RiptideConfig config_;
   std::unique_ptr<RouteProgrammer> programmer_;
+  std::unique_ptr<SocketStatsSource> stats_source_;
   std::unique_ptr<Combiner> combiner_;
+  sim::Rng* rng_ = nullptr;
   ObservedTable table_;
   sim::EventHandle poll_timer_;
   bool running_ = false;
+  bool started_once_ = false;
   std::uint32_t window_cap_segments_ = 0;
+  std::map<net::Prefix, PendingOp> pending_ops_;
+  std::unordered_map<tcp::FourTuple, SeenCounters, tcp::FourTupleHash>
+      seen_counters_;
   AgentStats stats_;
 };
 

@@ -72,6 +72,49 @@ struct RiptideConfig {
   // construction — the paper's tool is exactly such a text-scraping
   // script — and kept as an option to prove the text surface suffices.
   bool via_text_interface = false;
+
+  // ------------------------------------------------------------------
+  // Hardening knobs (robustness under network and actuator failures).
+  // Defaults are chosen so a fault-free run behaves bit-identically to an
+  // agent without any of this machinery: the retry path only activates on
+  // actuator failures, adoption only sees routes a crashed predecessor
+  // left behind, and the guards/jitter default off.
+  // ------------------------------------------------------------------
+
+  // Actuator retry: a failed set_initial_windows/clear is retried with
+  // exponential backoff (actuator_backoff, doubling per attempt) up to
+  // actuator_max_retries times; ops still failing after that are dropped
+  // and counted as dead letters. A later successful poll for the same
+  // destination cancels the pending retry (the fresh value supersedes it).
+  std::uint32_t actuator_max_retries = 4;
+  sim::Time actuator_backoff = sim::Time::milliseconds(100);
+
+  // Staleness guard: a destination whose connections show an elevated
+  // retransmit rate while a learned window is installed is on a path that
+  // no longer supports that window (path change, loss burst). Each poll
+  // where retrans/segments-sent exceeds `staleness_retrans_fraction`
+  // (judged only once at least `staleness_min_segments` segments were
+  // sent since the previous poll), the learned window is decayed by
+  // `staleness_decay`; at or below c_min the route is withdrawn outright,
+  // restoring the default initial window.
+  bool staleness_guard = false;
+  double staleness_retrans_fraction = 0.2;
+  std::uint32_t staleness_min_segments = 20;
+  double staleness_decay = 0.5;
+
+  // Deterministic per-agent poll phase jitter, as a fraction of
+  // update_interval, drawn once at start() from the experiment RNG so
+  // co-located agents don't poll and program routes in lockstep. 0 (the
+  // default) keeps the exact historical schedule; > 0 requires the agent
+  // to be constructed with an Rng.
+  double poll_jitter_fraction = 0.0;
+
+  // On start(), adopt routes with a nonzero initcwnd already present in
+  // the host routing table into the observed table (aged from now). A
+  // fresh host has none, so this is free in normal runs; after a crash it
+  // puts the predecessor's leftover routes back under TTL control instead
+  // of letting stale windows live forever.
+  bool adopt_routes_on_start = true;
 };
 
 }  // namespace riptide::core

@@ -34,6 +34,10 @@ const DestinationState* ObservedTable::find(
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+bool ObservedTable::erase(const net::Prefix& destination) {
+  return entries_.erase(destination) > 0;
+}
+
 std::vector<net::Prefix> ObservedTable::expire(sim::Time now, sim::Time ttl) {
   std::vector<net::Prefix> expired;
   for (auto it = entries_.begin(); it != entries_.end();) {

@@ -40,6 +40,9 @@ class ObservedTable {
   // (so the agent can withdraw the corresponding routes).
   std::vector<net::Prefix> expire(sim::Time now, sim::Time ttl);
 
+  // Drops one entry (staleness-guard withdrawal); false when absent.
+  bool erase(const net::Prefix& destination);
+
   const std::map<net::Prefix, DestinationState>& entries() const {
     return entries_;
   }

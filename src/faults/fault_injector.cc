@@ -1,0 +1,211 @@
+#include "faults/fault_injector.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace riptide::faults {
+
+void FaultInjector::validate(const FaultEvent& ev) const {
+  const std::size_t n = topology_.pop_count();
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkFlap:
+    case FaultKind::kLossBurst:
+    case FaultKind::kRateChange:
+    case FaultKind::kDelayChange:
+      if (ev.pop_a >= n || ev.pop_b >= n || ev.pop_a == ev.pop_b) {
+        throw std::invalid_argument(
+            std::string("FaultInjector: event '") + to_string(ev.kind) +
+            "' names bad PoP pair " + std::to_string(ev.pop_a) + "-" +
+            std::to_string(ev.pop_b));
+      }
+      if (ev.kind == FaultKind::kLinkFlap && ev.count < 1) {
+        throw std::invalid_argument("FaultInjector: flap needs >= 1 transition");
+      }
+      break;
+    case FaultKind::kAgentCrash:
+      if (ev.host_index >= static_cast<int>(hooks_.size())) {
+        throw std::invalid_argument(
+            "FaultInjector: crash host index " +
+            std::to_string(ev.host_index) + " out of range (have " +
+            std::to_string(hooks_.size()) + " agents)");
+      }
+      break;
+    case FaultKind::kActuatorFail:
+    case FaultKind::kPollFail:
+    case FaultKind::kPollPartial:
+      break;
+  }
+  if (ev.value < 0.0) {
+    throw std::invalid_argument("FaultInjector: negative event value");
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  armed_ = true;
+  for (const FaultEvent& ev : plan_.events()) validate(ev);
+  for (const FaultEvent& ev : plan_.events()) {
+    sim_.schedule_at(ev.at, [this, ev] {
+      ++stats_.events_fired;
+      apply(ev);
+    });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::kLinkDown:
+      set_pair_up(ev.pop_a, ev.pop_b, false);
+      break;
+    case FaultKind::kLinkUp:
+      set_pair_up(ev.pop_a, ev.pop_b, true);
+      break;
+    case FaultKind::kLinkFlap:
+      // apply() fires at each transition time; leg 0 is the initial down.
+      set_pair_up(ev.pop_a, ev.pop_b, false);
+      for (int leg = 1; leg < ev.count; ++leg) {
+        const bool up = (leg % 2) == 1;
+        sim_.schedule(ev.duration * leg, [this, ev, up] {
+          ++stats_.events_fired;
+          set_pair_up(ev.pop_a, ev.pop_b, up);
+        });
+      }
+      break;
+    case FaultKind::kLossBurst:
+      apply_loss_burst(ev);
+      break;
+    case FaultKind::kRateChange:
+      apply_rate_change(ev);
+      break;
+    case FaultKind::kDelayChange:
+      apply_delay_change(ev);
+      break;
+    case FaultKind::kActuatorFail:
+      apply_actuator_window(ev);
+      break;
+    case FaultKind::kPollFail:
+    case FaultKind::kPollPartial:
+      apply_poll_window(ev);
+      break;
+    case FaultKind::kAgentCrash:
+      apply_crash(ev);
+      break;
+  }
+}
+
+void FaultInjector::set_pair_up(std::size_t a, std::size_t b, bool up) {
+  topology_.wan_link(a, b).set_up(up);
+  topology_.wan_link(b, a).set_up(up);
+  ++stats_.link_transitions;
+}
+
+void FaultInjector::apply_loss_burst(const FaultEvent& ev) {
+  net::Link& ab = topology_.wan_link(ev.pop_a, ev.pop_b);
+  net::Link& ba = topology_.wan_link(ev.pop_b, ev.pop_a);
+  const double prev_ab = ab.config().loss_probability;
+  const double prev_ba = ba.config().loss_probability;
+  ab.set_loss_probability(ev.value);
+  ba.set_loss_probability(ev.value);
+  ++stats_.bursts_applied;
+  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+    ab.set_loss_probability(prev_ab);
+    ba.set_loss_probability(prev_ba);
+    ++stats_.bursts_restored;
+  });
+}
+
+void FaultInjector::apply_rate_change(const FaultEvent& ev) {
+  net::Link& ab = topology_.wan_link(ev.pop_a, ev.pop_b);
+  net::Link& ba = topology_.wan_link(ev.pop_b, ev.pop_a);
+  const double prev_ab = ab.config().rate_bps;
+  const double prev_ba = ba.config().rate_bps;
+  ab.set_rate_bps(prev_ab * ev.value);
+  ba.set_rate_bps(prev_ba * ev.value);
+  ++stats_.bursts_applied;
+  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+    ab.set_rate_bps(prev_ab);
+    ba.set_rate_bps(prev_ba);
+    ++stats_.bursts_restored;
+  });
+}
+
+void FaultInjector::apply_delay_change(const FaultEvent& ev) {
+  net::Link& ab = topology_.wan_link(ev.pop_a, ev.pop_b);
+  net::Link& ba = topology_.wan_link(ev.pop_b, ev.pop_a);
+  const sim::Time prev_ab = ab.config().propagation_delay;
+  const sim::Time prev_ba = ba.config().propagation_delay;
+  const sim::Time extra = sim::Time::from_seconds(ev.value / 1000.0);
+  ab.set_propagation_delay(prev_ab + extra);
+  ba.set_propagation_delay(prev_ba + extra);
+  ++stats_.bursts_applied;
+  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+    ab.set_propagation_delay(prev_ab);
+    ba.set_propagation_delay(prev_ba);
+    ++stats_.bursts_restored;
+  });
+}
+
+void FaultInjector::apply_actuator_window(const FaultEvent& ev) {
+  ++stats_.actuator_windows;
+  for (const AgentHooks& hooks : hooks_) {
+    FaultyRouteProgrammer* actuator = hooks.actuator;
+    if (actuator == nullptr) continue;
+    const double prev = actuator->failure_probability();
+    actuator->set_failure_probability(ev.value);
+    sim_.schedule(ev.duration,
+                  [actuator, prev] { actuator->set_failure_probability(prev); });
+  }
+}
+
+void FaultInjector::apply_poll_window(const FaultEvent& ev) {
+  ++stats_.poll_windows;
+  const bool partial = ev.kind == FaultKind::kPollPartial;
+  for (const AgentHooks& hooks : hooks_) {
+    FaultySocketStatsSource* source = hooks.stats_source;
+    if (source == nullptr) continue;
+    if (partial) {
+      const double prev = source->partial_fraction();
+      source->set_partial_fraction(ev.value);
+      sim_.schedule(ev.duration,
+                    [source, prev] { source->set_partial_fraction(prev); });
+    } else {
+      const double prev = source->failure_probability();
+      source->set_failure_probability(ev.value);
+      sim_.schedule(ev.duration,
+                    [source, prev] { source->set_failure_probability(prev); });
+    }
+  }
+}
+
+void FaultInjector::apply_crash(const FaultEvent& ev) {
+  if (ev.host_index >= 0) {
+    crash_one(hooks_[static_cast<std::size_t>(ev.host_index)], ev.duration,
+              ev.warm);
+    return;
+  }
+  for (const AgentHooks& hooks : hooks_) {
+    crash_one(hooks, ev.duration, ev.warm);
+  }
+}
+
+void FaultInjector::crash_one(AgentHooks hooks, sim::Time downtime,
+                              bool warm) {
+  core::RiptideAgent* agent = hooks.agent;
+  if (agent == nullptr || !agent->running()) return;
+  // Warm restart models a periodically checkpointed ObservedTable: the
+  // snapshot is what was on disk at crash time.
+  core::ObservedTable snapshot;
+  if (warm) snapshot = agent->snapshot_table();
+  agent->crash();
+  ++stats_.crashes_injected;
+  ++stats_.restarts_scheduled;
+  sim_.schedule(downtime, [agent, warm, snapshot = std::move(snapshot)] {
+    if (warm) agent->restore_table(snapshot);
+    agent->start();
+  });
+}
+
+}  // namespace riptide::faults

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cdn/topology.h"
+#include "core/agent.h"
+#include "faults/fault_plan.h"
+#include "faults/faulty.h"
+#include "sim/simulator.h"
+
+namespace riptide::faults {
+
+struct FaultInjectorStats {
+  std::uint64_t events_fired = 0;
+  std::uint64_t link_transitions = 0;  // down/up applications (flap legs too)
+  std::uint64_t bursts_applied = 0;    // loss / rate / delay degradations
+  std::uint64_t bursts_restored = 0;
+  std::uint64_t actuator_windows = 0;  // actuator-failure windows opened
+  std::uint64_t poll_windows = 0;      // poll-failure / partial windows
+  std::uint64_t crashes_injected = 0;
+  std::uint64_t restarts_scheduled = 0;
+};
+
+// Turns a declarative FaultPlan into scheduled simulator events against a
+// concrete topology and set of agents. Everything is driven by sim time,
+// so a given (plan, topology, seed) triple replays identically.
+//
+// Link faults hit both directions of the named PoP pair. Bursts capture
+// the parameter they overwrite and restore it when the window closes, so
+// overlapping windows compose last-writer-wins and still unwind. Agent
+// faults fan out to every registered agent (crash can target one host
+// index instead).
+class FaultInjector {
+ public:
+  // The per-agent injection surface. `actuator` / `stats_source` may be
+  // null when that agent is not wired through the fault decorators (its
+  // actuator/poll faults are then skipped).
+  struct AgentHooks {
+    core::RiptideAgent* agent = nullptr;
+    FaultyRouteProgrammer* actuator = nullptr;
+    FaultySocketStatsSource* stats_source = nullptr;
+  };
+
+  FaultInjector(sim::Simulator& sim, cdn::Topology& topology, FaultPlan plan)
+      : sim_(sim), topology_(topology), plan_(std::move(plan)) {}
+
+  // Register before arm(); crash events index into registration order.
+  void register_agent(AgentHooks hooks) { hooks_.push_back(hooks); }
+
+  // Validates the plan against the topology/agents and schedules every
+  // event at its absolute sim time. Call exactly once, before running.
+  void arm();
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<AgentHooks>& hooks() const { return hooks_; }
+
+ private:
+  void validate(const FaultEvent& ev) const;
+  void apply(const FaultEvent& ev);
+  void set_pair_up(std::size_t a, std::size_t b, bool up);
+  void apply_loss_burst(const FaultEvent& ev);
+  void apply_rate_change(const FaultEvent& ev);
+  void apply_delay_change(const FaultEvent& ev);
+  void apply_actuator_window(const FaultEvent& ev);
+  void apply_poll_window(const FaultEvent& ev);
+  void apply_crash(const FaultEvent& ev);
+  void crash_one(AgentHooks hooks, sim::Time downtime, bool warm);
+
+  sim::Simulator& sim_;
+  cdn::Topology& topology_;
+  FaultPlan plan_;
+  std::vector<AgentHooks> hooks_;
+  bool armed_ = false;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace riptide::faults

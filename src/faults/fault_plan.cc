@@ -1,0 +1,250 @@
+#include "faults/fault_plan.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace riptide::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kLinkUp: return "link-up";
+    case FaultKind::kLinkFlap: return "link-flap";
+    case FaultKind::kLossBurst: return "loss-burst";
+    case FaultKind::kRateChange: return "rate-change";
+    case FaultKind::kDelayChange: return "delay-change";
+    case FaultKind::kActuatorFail: return "actuator-fail";
+    case FaultKind::kPollFail: return "poll-fail";
+    case FaultKind::kPollPartial: return "poll-partial";
+    case FaultKind::kAgentCrash: return "agent-crash";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultEvent event(sim::Time at, FaultKind kind, std::size_t a = 0,
+                 std::size_t b = 0) {
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.pop_a = a;
+  ev.pop_b = b;
+  return ev;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::link_down(sim::Time at, std::size_t a, std::size_t b) {
+  return add(event(at, FaultKind::kLinkDown, a, b));
+}
+
+FaultPlan& FaultPlan::link_up(sim::Time at, std::size_t a, std::size_t b) {
+  return add(event(at, FaultKind::kLinkUp, a, b));
+}
+
+FaultPlan& FaultPlan::link_flap(sim::Time at, std::size_t a, std::size_t b,
+                                sim::Time period, int transitions) {
+  FaultEvent ev = event(at, FaultKind::kLinkFlap, a, b);
+  ev.duration = period;
+  ev.count = transitions;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::loss_burst(sim::Time at, std::size_t a, std::size_t b,
+                                 double probability, sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kLossBurst, a, b);
+  ev.value = probability;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::rate_factor(sim::Time at, std::size_t a, std::size_t b,
+                                  double factor, sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kRateChange, a, b);
+  ev.value = factor;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::extra_delay(sim::Time at, std::size_t a, std::size_t b,
+                                  double extra_ms, sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kDelayChange, a, b);
+  ev.value = extra_ms;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::actuator_failures(sim::Time at, double probability,
+                                        sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kActuatorFail);
+  ev.value = probability;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::poll_failures(sim::Time at, double probability,
+                                    sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kPollFail);
+  ev.value = probability;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::poll_partial(sim::Time at, double drop_fraction,
+                                   sim::Time duration) {
+  FaultEvent ev = event(at, FaultKind::kPollPartial);
+  ev.value = drop_fraction;
+  ev.duration = duration;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::agent_crash(sim::Time at, int host_index,
+                                  sim::Time downtime, bool warm) {
+  FaultEvent ev = event(at, FaultKind::kAgentCrash);
+  ev.host_index = host_index;
+  ev.duration = downtime;
+  ev.warm = warm;
+  return add(ev);
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& fragment) {
+  throw std::invalid_argument("FaultPlan::parse: " + what + " in \"" +
+                              fragment + "\"");
+}
+
+double parse_number(const std::string& token, const std::string& fragment) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (...) {
+    fail("bad number '" + token + "'", fragment);
+  }
+  if (consumed != token.size()) fail("bad number '" + token + "'", fragment);
+  return value;
+}
+
+// "A-B" -> PoP pair.
+void parse_link(const std::string& token, const std::string& fragment,
+                std::size_t& a, std::size_t& b) {
+  const auto dash = token.find('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= token.size()) {
+    fail("bad link '" + token + "' (want A-B)", fragment);
+  }
+  const double da = parse_number(token.substr(0, dash), fragment);
+  const double db = parse_number(token.substr(dash + 1), fragment);
+  if (da < 0 || db < 0 || da != static_cast<std::size_t>(da) ||
+      db != static_cast<std::size_t>(db)) {
+    fail("bad link '" + token + "' (want nonnegative integers)", fragment);
+  }
+  a = static_cast<std::size_t>(da);
+  b = static_cast<std::size_t>(db);
+  if (a == b) fail("bad link '" + token + "' (identical endpoints)", fragment);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream events(spec);
+  std::string fragment;
+  while (std::getline(events, fragment, ';')) {
+    std::istringstream fields(fragment);
+    std::vector<std::string> tok;
+    std::string t;
+    while (fields >> t) tok.push_back(t);
+    if (tok.empty()) continue;  // empty fragment (trailing ';', blank spec)
+
+    if (tok[0].size() < 2 || tok[0][0] != '@') {
+      fail("expected '@SECONDS' to lead the event", fragment);
+    }
+    const sim::Time at =
+        sim::Time::from_seconds(parse_number(tok[0].substr(1), fragment));
+    if (at < sim::Time::zero()) fail("negative event time", fragment);
+    if (tok.size() < 2) fail("missing action", fragment);
+    const std::string& action = tok[1];
+    const auto want = [&](std::size_t n) {
+      if (tok.size() != 2 + n) {
+        fail("'" + action + "' takes " + std::to_string(n) + " argument(s)",
+             fragment);
+      }
+    };
+    const auto probability = [&](const std::string& token) {
+      const double p = parse_number(token, fragment);
+      if (p < 0.0 || p > 1.0) fail("probability outside [0, 1]", fragment);
+      return p;
+    };
+    const auto seconds = [&](const std::string& token) {
+      const double s = parse_number(token, fragment);
+      if (s < 0.0) fail("negative duration", fragment);
+      return sim::Time::from_seconds(s);
+    };
+
+    std::size_t a = 0, b = 0;
+    if (action == "down") {
+      want(1);
+      parse_link(tok[2], fragment, a, b);
+      plan.link_down(at, a, b);
+    } else if (action == "up") {
+      want(1);
+      parse_link(tok[2], fragment, a, b);
+      plan.link_up(at, a, b);
+    } else if (action == "flap") {
+      want(3);
+      parse_link(tok[2], fragment, a, b);
+      const sim::Time period = seconds(tok[3]);
+      const double count = parse_number(tok[4], fragment);
+      if (count < 1 || count != static_cast<int>(count)) {
+        fail("flap count must be a positive integer", fragment);
+      }
+      plan.link_flap(at, a, b, period, static_cast<int>(count));
+    } else if (action == "loss") {
+      want(3);
+      parse_link(tok[2], fragment, a, b);
+      plan.loss_burst(at, a, b, probability(tok[3]), seconds(tok[4]));
+    } else if (action == "rate") {
+      want(3);
+      parse_link(tok[2], fragment, a, b);
+      const double factor = parse_number(tok[3], fragment);
+      if (factor <= 0.0) fail("rate factor must be positive", fragment);
+      plan.rate_factor(at, a, b, factor, seconds(tok[4]));
+    } else if (action == "delay") {
+      want(3);
+      parse_link(tok[2], fragment, a, b);
+      const double ms = parse_number(tok[3], fragment);
+      if (ms < 0.0) fail("negative extra delay", fragment);
+      plan.extra_delay(at, a, b, ms, seconds(tok[4]));
+    } else if (action == "actuator-fail") {
+      want(2);
+      plan.actuator_failures(at, probability(tok[2]), seconds(tok[3]));
+    } else if (action == "poll-fail") {
+      want(2);
+      plan.poll_failures(at, probability(tok[2]), seconds(tok[3]));
+    } else if (action == "poll-partial") {
+      want(2);
+      plan.poll_partial(at, probability(tok[2]), seconds(tok[3]));
+    } else if (action == "crash") {
+      want(3);
+      const double host = parse_number(tok[2], fragment);
+      if (host < -1 || host != static_cast<int>(host)) {
+        fail("crash host must be an index or -1 (all)", fragment);
+      }
+      bool warm = false;
+      if (tok[4] == "warm") {
+        warm = true;
+      } else if (tok[4] != "cold") {
+        fail("crash mode must be 'warm' or 'cold'", fragment);
+      }
+      plan.agent_crash(at, static_cast<int>(host), seconds(tok[3]), warm);
+    } else {
+      fail("unknown action '" + action + "'", fragment);
+    }
+  }
+  return plan;
+}
+
+}  // namespace riptide::faults

@@ -1,0 +1,83 @@
+#include "faults/harness.h"
+
+#include <utility>
+
+namespace riptide::faults {
+
+namespace {
+
+// Distinct fork salts for the two decorator streams on one host.
+constexpr std::uint64_t kActuatorSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kPollSalt = 0xc2b2ae3d27d4eb4full;
+
+sim::Rng decorator_rng(const cdn::Experiment& experiment,
+                       const host::Host& host, std::uint64_t salt) {
+  // Seeded from (config seed, host address, stream salt) only — never from
+  // a live Rng — so sweep workers materializing copies of one config get
+  // identical, uncorrelated streams regardless of build order.
+  sim::Rng base(experiment.config().seed);
+  return base.fork(salt ^ static_cast<std::uint64_t>(host.address().value()));
+}
+
+}  // namespace
+
+void FaultHarness::install(cdn::ExperimentConfig& config, FaultPlan plan) {
+  config.route_programmer_factory = [](cdn::Experiment& e, host::Host& h) {
+    return std::make_unique<FaultyRouteProgrammer>(
+        e.simulator(), std::make_unique<core::HostRouteProgrammer>(h),
+        decorator_rng(e, h, kActuatorSalt));
+  };
+  config.socket_stats_factory = [](cdn::Experiment& e, host::Host& h) {
+    return std::make_unique<FaultySocketStatsSource>(
+        std::make_unique<core::HostSocketStatsSource>(h),
+        decorator_rng(e, h, kPollSalt));
+  };
+  config.extension_factory = [plan = std::move(plan)](cdn::Experiment& e) {
+    return std::shared_ptr<void>(new FaultHarness(e, plan));
+  };
+}
+
+FaultHarness* FaultHarness::from(const cdn::Experiment& experiment) {
+  return static_cast<FaultHarness*>(experiment.extension().get());
+}
+
+FaultHarness::FaultHarness(cdn::Experiment& experiment, FaultPlan plan) {
+  injector_ = std::make_unique<FaultInjector>(experiment.simulator(),
+                                              experiment.topology(),
+                                              std::move(plan));
+  for (const auto& agent : experiment.agents()) {
+    FaultInjector::AgentHooks hooks;
+    hooks.agent = agent.get();
+    hooks.actuator = dynamic_cast<FaultyRouteProgrammer*>(&agent->programmer());
+    hooks.stats_source =
+        dynamic_cast<FaultySocketStatsSource*>(&agent->stats_source());
+    injector_->register_agent(hooks);
+  }
+  injector_->arm();
+}
+
+FaultyActuatorStats FaultHarness::actuator_totals() const {
+  FaultyActuatorStats total;
+  for (const auto& hooks : injector_->hooks()) {
+    if (hooks.actuator == nullptr) continue;
+    const FaultyActuatorStats& s = hooks.actuator->stats();
+    total.ops_attempted += s.ops_attempted;
+    total.failures_injected += s.failures_injected;
+    total.ops_delayed += s.ops_delayed;
+  }
+  return total;
+}
+
+FaultyPollStats FaultHarness::poll_totals() const {
+  FaultyPollStats total;
+  for (const auto& hooks : injector_->hooks()) {
+    if (hooks.stats_source == nullptr) continue;
+    const FaultyPollStats& s = hooks.stats_source->stats();
+    total.polls_attempted += s.polls_attempted;
+    total.failures_injected += s.failures_injected;
+    total.entries_dropped += s.entries_dropped;
+  }
+  return total;
+}
+
+}  // namespace riptide::faults

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <memory>
+
+#include "cdn/experiment.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "faults/faulty.h"
+
+namespace riptide::faults {
+
+// Glue between a FaultPlan and a cdn::Experiment. install() plants three
+// factories on the config: every agent's actuator and `ss` surface get
+// wrapped in the fault decorators (each with its own Rng forked from the
+// experiment seed and the host address, so injection sequences are
+// deterministic per host and independent of the workload), and the
+// extension factory builds the harness itself — which discovers the
+// decorators on the constructed agents, registers them with a
+// FaultInjector, and arms the plan.
+//
+//   cdn::ExperimentConfig config = ...;
+//   faults::FaultHarness::install(config, faults::FaultPlan::parse(spec));
+//   cdn::Experiment experiment(config);
+//   experiment.run();
+//   auto* harness = faults::FaultHarness::from(experiment);
+//
+// Everything lives on the config by value/std::function, so configs remain
+// copyable across sweep workers with no shared mutable state.
+class FaultHarness {
+ public:
+  // Wires the decorators and the plan into `config`. The plan may be
+  // empty (decorators installed but inert) — useful for bit-identity
+  // comparisons of the no-fault path.
+  static void install(cdn::ExperimentConfig& config, FaultPlan plan);
+
+  // The harness attached by install()'s extension factory, or null when
+  // the experiment was built without one. The extension slot is assumed
+  // to be harness-owned: only call this on experiments configured via
+  // install().
+  static FaultHarness* from(const cdn::Experiment& experiment);
+
+  FaultInjector& injector() { return *injector_; }
+  const FaultInjector& injector() const { return *injector_; }
+
+  // Decorator counters aggregated across every agent.
+  FaultyActuatorStats actuator_totals() const;
+  FaultyPollStats poll_totals() const;
+
+ private:
+  FaultHarness(cdn::Experiment& experiment, FaultPlan plan);
+
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+}  // namespace riptide::faults

@@ -60,9 +60,27 @@ void Host::schedule_removal(const tcp::FourTuple& tuple) {
   sim_.schedule(sim::Time::zero(), [this, tuple] {
     const auto it = connections_.find(tuple);
     if (it != connections_.end() && it->second->closed()) {
+      closed_retransmissions_ += it->second->stats().retransmissions;
+      closed_timeouts_ += it->second->stats().timeouts;
       connections_.erase(it);
     }
   });
+}
+
+std::uint64_t Host::total_retransmissions() const {
+  std::uint64_t total = closed_retransmissions_;
+  for (const auto& [tuple, conn] : connections_) {
+    total += conn->stats().retransmissions;
+  }
+  return total;
+}
+
+std::uint64_t Host::total_timeouts() const {
+  std::uint64_t total = closed_timeouts_;
+  for (const auto& [tuple, conn] : connections_) {
+    total += conn->stats().timeouts;
+  }
+  return total;
 }
 
 tcp::TcpConnection& Host::connect(
@@ -166,6 +184,8 @@ std::vector<SocketInfo> Host::socket_stats() const {
     info.cwnd_segments = conn->cwnd_segments();
     info.bytes_acked = conn->bytes_acked();
     info.bytes_in_flight = conn->bytes_in_flight();
+    info.retransmissions = conn->stats().retransmissions;
+    info.segments_sent = conn->stats().segments_sent;
     info.srtt = conn->srtt();
     info.established_at = conn->established_at();
     out.push_back(info);

@@ -28,6 +28,11 @@ struct SocketInfo {
   std::uint32_t cwnd_segments = 0;
   std::uint64_t bytes_acked = 0;
   std::uint64_t bytes_in_flight = 0;
+  // Cumulative loss-recovery counters (real `ss -ti` prints retrans and
+  // segs_out); the agent's staleness guard rates retransmissions against
+  // segments sent to detect paths gone bad under a learned window.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t segments_sent = 0;
   std::optional<sim::Time> srtt;
   sim::Time established_at;
 };
@@ -88,6 +93,13 @@ class Host : public net::PacketSink {
   const HostStats& stats() const { return stats_; }
   std::size_t connection_count() const { return connections_.size(); }
 
+  // Cumulative loss-recovery totals across live *and* already-closed
+  // connections. Per-connection counters die with the connection; these
+  // survive churn, which is what lets fault benches quantify the damage a
+  // stale oversized window did before its flows finished.
+  std::uint64_t total_retransmissions() const;
+  std::uint64_t total_timeouts() const;
+
  private:
   tcp::TcpConfig effective_config(net::Ipv4Address peer,
                                   const tcp::TcpConfig& base) const;
@@ -113,6 +125,9 @@ class Host : public net::PacketSink {
   std::unordered_map<std::uint16_t, AcceptHook> listeners_;
   std::uint16_t next_ephemeral_port_ = 32768;
   HostStats stats_;
+  // Loss-recovery counters inherited from connections already erased.
+  std::uint64_t closed_retransmissions_ = 0;
+  std::uint64_t closed_timeouts_ = 0;
 };
 
 }  // namespace riptide::host

@@ -87,7 +87,9 @@ std::string format_socket_stats(const std::vector<SocketInfo>& infos) {
        << ' ' << info.tuple.remote_addr.to_string() << ':'
        << info.tuple.remote_port << " cwnd:" << info.cwnd_segments
        << " bytes_acked:" << info.bytes_acked << " rtt:" << rtt_buf
-       << " unacked:" << info.bytes_in_flight << '\n';
+       << " unacked:" << info.bytes_in_flight
+       << " retrans:" << info.retransmissions
+       << " segs_out:" << info.segments_sent << '\n';
   }
   return os.str();
 }
@@ -122,6 +124,10 @@ std::vector<ParsedSocketInfo> parse_socket_stats(const std::string& text) {
           info.rtt_ms = value == "-" ? -1.0 : std::stod(value);
         } else if (keyed_value(token, "unacked", value)) {
           info.bytes_in_flight = std::stoull(value);
+        } else if (keyed_value(token, "retrans", value)) {
+          info.retransmissions = std::stoull(value);
+        } else if (keyed_value(token, "segs_out", value)) {
+          info.segments_sent = std::stoull(value);
         }
         // Unknown keys are ignored: newer `ss` versions add fields.
       } catch (...) {

@@ -13,9 +13,9 @@ namespace riptide::host {
 // the agent through this text round-trip (RiptideConfig::via_text_interface)
 // demonstrates that the textual surface carries all required information.
 //
-// Format, one connection per line:
-//   ESTAB 10.0.0.1:42000 10.1.0.1:9000 cwnd:34 bytes_acked:100000 \
-//     rtt:120.5 unacked:0
+// Format, one connection per line (wrapped here for width):
+//   ESTAB 10.0.0.1:42000 10.1.0.1:9000 cwnd:34 bytes_acked:100000
+//     rtt:120.5 unacked:0 retrans:3 segs_out:120
 // (rtt in milliseconds, "-" when not yet sampled.)
 
 std::string format_socket_stats(const std::vector<SocketInfo>& infos);
@@ -31,6 +31,8 @@ struct ParsedSocketInfo {
   std::uint64_t bytes_acked = 0;
   double rtt_ms = -1.0;  // -1 when unsampled
   std::uint64_t bytes_in_flight = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t segments_sent = 0;
 };
 
 // Parses the output of format_socket_stats. Malformed lines are skipped

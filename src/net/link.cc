@@ -22,8 +22,34 @@ sim::Time Link::transmission_time(std::uint32_t bytes) const {
                                  config_.rate_bps);
 }
 
+void Link::set_rate_bps(double rate_bps) {
+  if (rate_bps <= 0.0) {
+    throw std::invalid_argument("Link::set_rate_bps: rate must be positive");
+  }
+  config_.rate_bps = rate_bps;
+}
+
+void Link::set_loss_probability(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("Link::set_loss_probability: p outside [0,1]");
+  }
+  if (p > 0.0 && rng_ == nullptr) {
+    throw std::invalid_argument("Link::set_loss_probability: loss requires Rng");
+  }
+  config_.loss_probability = p;
+}
+
+void Link::set_propagation_delay(sim::Time delay) {
+  config_.propagation_delay = delay;
+}
+
 void Link::receive(const Packet& packet) {
   ++stats_.packets_sent;
+
+  if (!up_) {
+    ++stats_.drops_link_down;
+    return;
+  }
 
   if (rng_ != nullptr && rng_->bernoulli(config_.loss_probability)) {
     ++stats_.drops_random_loss;

@@ -13,18 +13,24 @@ class Rng;
 
 namespace riptide::net {
 
-// Counters a link exposes for diagnostics and experiments.
+// Counters a link exposes for diagnostics and experiments. Drops are
+// attributed to exactly one reason so fault runs are debuggable from the
+// counters alone.
 struct LinkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t drops_queue_full = 0;
   std::uint64_t drops_random_loss = 0;
+  std::uint64_t drops_link_down = 0;
   std::uint64_t bytes_delivered = 0;
 };
 
-// Unidirectional point-to-point link: fixed rate, fixed propagation delay,
-// drop-tail queue bounded in packets, optional i.i.d. random loss (standing
-// in for cross-traffic on shared WAN segments).
+// Unidirectional point-to-point link: rate, propagation delay, drop-tail
+// queue bounded in packets, optional i.i.d. random loss (standing in for
+// cross-traffic on shared WAN segments). Rate, delay, loss, and the
+// administrative up/down state are runtime-mutable so fault injection can
+// degrade or flap a path mid-run; changes apply to packets admitted after
+// the change (in-flight packets keep the parameters they were sent under).
 //
 // Lifetime: a Link schedules delivery events that reference it, so it must
 // outlive the simulation run (or at least every packet admitted to it).
@@ -59,6 +65,19 @@ class Link : public PacketSink {
   const Config& config() const { return config_; }
   std::size_t queue_depth() const { return queued_; }
 
+  // -- Runtime mutation (fault injection) --
+  // A downed link drops every packet offered to it (counted separately);
+  // packets already serializing or in flight still deliver, as on a real
+  // interface whose far end goes away after transmission.
+  void set_up(bool up) { up_ = up; }
+  bool is_up() const { return up_; }
+
+  // Precondition: rate > 0.
+  void set_rate_bps(double rate_bps);
+  // Precondition: p in [0, 1]; p > 0 requires the link to have an Rng.
+  void set_loss_probability(double p);
+  void set_propagation_delay(sim::Time delay);
+
  private:
   sim::Simulator& sim_;
   Config config_;
@@ -66,6 +85,7 @@ class Link : public PacketSink {
   sim::Rng* rng_;
   sim::Time busy_until_;
   std::size_t queued_ = 0;  // packets admitted but not yet fully serialized
+  bool up_ = true;
   LinkStats stats_;
 };
 

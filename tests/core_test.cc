@@ -162,6 +162,45 @@ TEST(HostRouteProgrammerTest, PreservesEgressDevice) {
   EXPECT_EQ(net.a.routing_table().lookup(net.b.address())->device, before);
 }
 
+TEST(HostRouteProgrammerTest, ProgramReprogramClearRoundTrip) {
+  TwoHostNet net(Time::milliseconds(10));
+  HostRouteProgrammer programmer(net.a);
+  const auto dst = net::Prefix::host(net.b.address());
+  const auto* egress = net.a.routing_table().lookup(net.b.address())->device;
+
+  programmer.set_initial_windows(dst, 50, 60);
+  // Reprogramming resolves the egress from the *underlying* route, not
+  // from the Riptide route being replaced — the device must survive the
+  // round trip unchanged.
+  programmer.set_initial_windows(dst, 70, 80);
+  EXPECT_EQ(net.a.routing_table().lookup(net.b.address())->device, egress);
+  EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            70u);
+  EXPECT_EQ(programmer.routes_programmed(), 2u);
+
+  programmer.clear(dst);
+  EXPECT_EQ(net.a.routing_table().lookup(net.b.address())->device, egress);
+  EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            10u);  // back to the system default
+  EXPECT_FALSE(net.a.routing_table().has_route(dst));
+}
+
+TEST(HostRouteProgrammerTest, ClearOnWithdrawnRouteIsNoOp) {
+  TwoHostNet net(Time::milliseconds(10));
+  HostRouteProgrammer programmer(net.a);
+  const auto dst = net::Prefix::host(net.b.address());
+
+  programmer.clear(dst);  // nothing installed yet
+  EXPECT_EQ(programmer.routes_cleared(), 0u);
+
+  programmer.set_initial_windows(dst, 50, 0);
+  programmer.clear(dst);
+  programmer.clear(dst);  // double clear: second is a no-op
+  EXPECT_EQ(programmer.routes_cleared(), 1u);
+  EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            10u);
+}
+
 // ------------------------------------------------------------ RiptideAgent
 
 // Establishes a data-carrying connection a -> b and returns once cwnd on
@@ -286,6 +325,51 @@ TEST(RiptideAgentTest, TtlExpiryRemovesRoute) {
   EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
             10u);
   EXPECT_EQ(agent.stats().routes_expired, 1u);
+}
+
+TEST(RiptideAgentTest, ChurnWithdrawsExactlyOncePerExpiry) {
+  // Snapshot source the test scripts directly, so learn/expire cycles can
+  // be driven without real connections.
+  class ScriptedSource : public SocketStatsSource {
+   public:
+    std::vector<host::SocketInfo> next;
+    std::vector<host::SocketInfo> poll() override { return next; }
+  };
+
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = test_config();
+  config.ttl = Time::seconds(30);
+  auto recording = std::make_unique<RecordingProgrammer>();
+  auto* programmer = recording.get();
+  auto scripted = std::make_unique<ScriptedSource>();
+  auto* source = scripted.get();
+  RiptideAgent agent(net.sim, net.a, config, std::move(recording),
+                     std::move(scripted));
+
+  host::SocketInfo info;
+  info.tuple.local_addr = net.a.address();
+  info.tuple.local_port = 40000;
+  info.tuple.remote_addr = net.b.address();
+  info.tuple.remote_port = 9900;
+  info.state = tcp::TcpState::kEstablished;
+  info.cwnd_segments = 40;
+  info.bytes_acked = 100'000;
+
+  // Two learn -> idle -> expire cycles. Each expiry must withdraw the
+  // route exactly once: the entry leaves the table with the withdrawal,
+  // so subsequent idle polls have nothing left to clear.
+  for (int cycle = 1; cycle <= 2; ++cycle) {
+    source->next = {info};
+    agent.poll_once();
+    ASSERT_EQ(agent.table().size(), 1u);
+    source->next.clear();
+    net.sim.run_until(net.sim.now() + Time::seconds(31));
+    agent.poll_once();  // past TTL: expires and withdraws
+    agent.poll_once();  // extra idle poll: nothing left to withdraw
+    EXPECT_EQ(agent.table().size(), 0u);
+    EXPECT_EQ(agent.stats().routes_expired, static_cast<std::uint64_t>(cycle));
+    EXPECT_EQ(programmer->clears, cycle);
+  }
 }
 
 TEST(RiptideAgentTest, PrefixGranularityAggregatesHosts) {

@@ -29,6 +29,14 @@ run_config build-ci-asan \
   -DCMAKE_BUILD_TYPE=Debug \
   -DRIPTIDE_SANITIZE=ON
 
+# The chaos label (fault-injection + stress suites) re-runs under the
+# sanitizers with a hard per-test timeout: injected failures exercise the
+# exception/retry/restart paths where lifetime bugs hide, and a wedged
+# simulation must fail the build rather than hang it.
+echo "==== chaos suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L chaos --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
 
