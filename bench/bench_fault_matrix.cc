@@ -10,6 +10,14 @@
 // retransmissions/timeouts must not blow up because a hardened agent kept
 // pushing stale windows.
 //
+// The recovery scenarios (reboot-*, snap-corrupt, route-drift,
+// gov-rollback) additionally report, per treatment run, the time for the
+// host-wide installed-initcwnd total to climb back to 90% of its
+// pre-crash steady state — sampled once per simulated second by a
+// read-only probe that leaves the simulation untouched. Durable-state
+// knobs are enabled per scenario; every legacy scenario runs with the
+// knobs at their defaults and its output stays byte-identical.
+//
 //   --spec "<fault spec>"   run one custom scenario instead of the matrix
 //   --duration S            simulated seconds per run (default 150)
 //   --pops N                leading PoPs of the paper roster (default 6)
@@ -19,6 +27,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,22 +47,90 @@ namespace {
 struct Scenario {
   std::string name;
   std::string spec;  // FaultPlan::parse grammar; empty = no faults
+  // Durable-state knobs this scenario turns on (empty = defaults). Also
+  // the cue to report the extended JSON block: legacy scenarios keep
+  // their historical output bytes.
+  std::function<void(cdn::ExperimentConfig&)> knobs;
+  double crash_s = -1.0;    // recovery scenarios: when the crash fires
+  double restart_s = -1.0;  // ... and when the agents come back
 };
 
 std::vector<Scenario> default_matrix() {
-  return {
-      {"baseline", ""},
-      {"link-flap", "@30 flap 0-1 5 6"},
-      {"loss-burst", "@30 loss 0-1 0.05 30"},
-      {"degrade", "@30 rate 0-1 0.25 30; @30 delay 0-1 50 30"},
-      {"actuator-30", "@10 actuator-fail 0.3 60"},
-      {"poll-fail", "@10 poll-fail 0.5 60"},
-      {"poll-partial", "@10 poll-partial 0.5 60"},
-      {"crash-cold", "@60 crash -1 10 cold"},
-      {"crash-warm", "@60 crash -1 10 warm"},
+  std::vector<Scenario> matrix = {
+      {"baseline", "", {}},
+      {"link-flap", "@30 flap 0-1 5 6", {}},
+      {"loss-burst", "@30 loss 0-1 0.05 30", {}},
+      {"degrade", "@30 rate 0-1 0.25 30; @30 delay 0-1 50 30", {}},
+      {"actuator-30", "@10 actuator-fail 0.3 60", {}},
+      {"poll-fail", "@10 poll-fail 0.5 60", {}},
+      {"poll-partial", "@10 poll-partial 0.5 60", {}},
+      {"crash-cold", "@60 crash -1 10 cold", {}},
+      {"crash-warm", "@60 crash -1 10 warm", {}},
       {"combined", "@20 flap 0-1 5 6; @40 actuator-fail 0.3 40; "
-                   "@80 loss 0-1 0.05 20"},
+                   "@80 loss 0-1 0.05 20",
+       {}},
   };
+
+  const auto snapshots_on = [](cdn::ExperimentConfig& config) {
+    config.riptide.checkpoint_interval = sim::Time::seconds(2);
+  };
+  // Host reboot: process AND learned routes die. Cold pays the full
+  // re-learning horizon; warm restores the persisted table and reprograms
+  // routes before the first poll.
+  matrix.push_back({"reboot-cold", "@60 crash -1 5 reboot-cold",
+                    /*knobs=*/[](cdn::ExperimentConfig&) {}, 60.0, 65.0});
+  matrix.push_back(
+      {"reboot-warm", "@60 crash -1 5 reboot-warm", snapshots_on, 60.0, 65.0});
+  // Newest snapshot gets a header bit flipped just before the reboot:
+  // restore must fall back to the previous generation, not crash or come
+  // up empty. Offset 13 lands inside the header, rejecting the whole
+  // snapshot; @59 sits between the last two checkpoint ticks (even
+  // seconds) so no fresh snapshot papers over the damage.
+  matrix.push_back({"snap-corrupt",
+                    "@59 snap-corrupt -1 13; @60 crash -1 5 reboot-warm",
+                    snapshots_on, 60.0, 65.0});
+  // An outside actor deletes half the learned routes and mangles a
+  // quarter; the reconciler must repair the drift within a poll.
+  matrix.push_back({"route-drift", "@60 route-drift -1 0.5 0.25",
+                    [](cdn::ExperimentConfig& config) {
+                      config.riptide.reconcile_routes = true;
+                    }});
+  // Host-wide loss burst: the governor's emergency rollback withdraws
+  // every learned route, cools down, then re-learns.
+  matrix.push_back({"gov-rollback", "@60 loss 0-1 0.3 20",
+                    [](cdn::ExperimentConfig& config) {
+                      config.riptide.governor_rollback_retrans_fraction = 0.05;
+                      config.riptide.governor_min_packets = 50;
+                      config.riptide.governor_cooldown = sim::Time::seconds(10);
+                    }});
+  return matrix;
+}
+
+// One reading of the host-wide installed-initcwnd total (treatment arm
+// only; control has no agents and stays at zero).
+struct RouteSample {
+  double t_s = 0.0;
+  double total_initcwnd = 0.0;
+};
+using SampleSeries = std::vector<RouteSample>;
+
+// Seconds after restart_s until the installed total regains 90% of its
+// last pre-crash value; negative when never (or when there was nothing to
+// regain).
+double recovery_seconds(const SampleSeries& samples, double crash_s,
+                        double restart_s) {
+  double steady = 0.0;
+  for (const RouteSample& sample : samples) {
+    if (sample.t_s < crash_s) steady = sample.total_initcwnd;
+  }
+  if (steady <= 0.0) return -1.0;
+  for (const RouteSample& sample : samples) {
+    if (sample.t_s < restart_s) continue;
+    if (sample.total_initcwnd >= 0.9 * steady) {
+      return sample.t_s - restart_s;
+    }
+  }
+  return -1.0;
 }
 
 // Sum of the hardening counters across an experiment's agents.
@@ -72,6 +150,14 @@ core::AgentStats agent_totals(const cdn::Experiment& e) {
     total.crashes += s.crashes;
     total.restarts += s.restarts;
     total.routes_adopted += s.routes_adopted;
+    total.reconcile_repaired += s.reconcile_repaired;
+    total.reconcile_orphaned += s.reconcile_orphaned;
+    total.reconcile_conflicting += s.reconcile_conflicting;
+    total.governor_budget_scaledowns += s.governor_budget_scaledowns;
+    total.governor_hysteresis_skips += s.governor_hysteresis_skips;
+    total.governor_rollbacks += s.governor_rollbacks;
+    total.governor_routes_rolled_back += s.governor_routes_rolled_back;
+    total.governor_cooldown_polls += s.governor_cooldown_polls;
   }
   return total;
 }
@@ -149,7 +235,7 @@ int main(int argc, char** argv) {
   base.riptide.staleness_guard = true;
 
   const std::vector<Scenario> matrix =
-      opt.has_custom ? std::vector<Scenario>{{"custom", opt.custom_spec}}
+      opt.has_custom ? std::vector<Scenario>{{"custom", opt.custom_spec, {}}}
                      : default_matrix();
 
   runner::SweepSpec sweep(base);
@@ -159,14 +245,41 @@ int main(int argc, char** argv) {
     // worker thread.
     faults::FaultPlan plan = faults::FaultPlan::parse(scenario.spec);
     sweep.variant(scenario.name,
-                  [plan = std::move(plan)](cdn::ExperimentConfig& config) {
+                  [plan = std::move(plan),
+                   knobs = scenario.knobs](cdn::ExperimentConfig& config) {
+                    if (knobs) knobs(config);
                     faults::FaultHarness::install(config, plan);
                   });
   }
 
+  // Attach the per-second installed-initcwnd sampler to every run. It
+  // only reads the routing tables, so simulation outputs are unchanged;
+  // the series feed the recovery-time metric of the crash scenarios.
+  std::vector<runner::RunSpec> specs = sweep.materialize();
+  std::vector<std::shared_ptr<SampleSeries>> series;
+  series.reserve(specs.size());
+  for (runner::RunSpec& spec : specs) {
+    auto samples = std::make_shared<SampleSeries>();
+    series.push_back(samples);
+    spec.setup = [samples](cdn::Experiment& e) {
+      e.simulator().schedule_periodic(
+          sim::Time::seconds(1), sim::Time::seconds(1), [samples, &e] {
+            double total = 0.0;
+            for (const auto& agent : e.agents()) {
+              for (const auto& entry :
+                   agent->host().routing_table().learned_routes()) {
+                total += entry.metrics.initcwnd_segments;
+              }
+            }
+            samples->push_back(
+                RouteSample{e.simulator().now().to_seconds(), total});
+          });
+    };
+  }
+
   const runner::ParallelRunner pool(opt.base.threads);
   const auto sweep_start = std::chrono::steady_clock::now();
-  const auto results = pool.run(sweep.materialize());
+  const auto results = pool.run(std::move(specs));
   const double sweep_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     sweep_start)
@@ -187,12 +300,20 @@ int main(int argc, char** argv) {
               "stale");
 
   for (std::size_t s = 0; s < matrix.size(); ++s) {
+    // Appended scenarios report the durable-state counter block; legacy
+    // scenarios keep their historical output bytes.
+    const bool extended =
+        static_cast<bool>(matrix[s].knobs) || matrix[s].crash_s >= 0.0;
     for (int arm = 0; arm < 2; ++arm) {
       const bool is_treatment = arm == 0;
       std::vector<const cdn::Experiment*> runs;
       std::uint64_t retrans = 0, timeouts = 0;
       cdn::Topology::DropTotals drops;
       core::AgentStats agents;
+      persist::CheckpointerStats persist_totals;
+      faults::FaultInjectorStats injector_totals;
+      double recovery_sum = 0.0;
+      std::size_t recovery_runs = 0, recovered = 0;
       for (std::size_t seed = 0; seed < opt.base.seeds.size(); ++seed) {
         const std::size_t index =
             s * runs_per_scenario + seed * 2 + static_cast<std::size_t>(arm);
@@ -214,6 +335,37 @@ int main(int argc, char** argv) {
         agents.staleness_withdrawals += a.staleness_withdrawals;
         agents.crashes += a.crashes;
         agents.restarts += a.restarts;
+        if (!extended) continue;
+        agents.reconcile_repaired += a.reconcile_repaired;
+        agents.reconcile_orphaned += a.reconcile_orphaned;
+        agents.reconcile_conflicting += a.reconcile_conflicting;
+        agents.governor_budget_scaledowns += a.governor_budget_scaledowns;
+        agents.governor_hysteresis_skips += a.governor_hysteresis_skips;
+        agents.governor_rollbacks += a.governor_rollbacks;
+        agents.governor_routes_rolled_back += a.governor_routes_rolled_back;
+        agents.governor_cooldown_polls += a.governor_cooldown_polls;
+        if (const auto* harness = faults::FaultHarness::from(e)) {
+          const auto p = harness->checkpointer_totals();
+          persist_totals.checkpoints_written += p.checkpoints_written;
+          persist_totals.restores += p.restores;
+          persist_totals.snapshots_rejected += p.snapshots_rejected;
+          persist_totals.records_recovered += p.records_recovered;
+          persist_totals.records_discarded += p.records_discarded;
+          const auto& inj = harness->injector().stats();
+          injector_totals.routes_flushed += inj.routes_flushed;
+          injector_totals.snapshots_corrupted += inj.snapshots_corrupted;
+          injector_totals.routes_dropped += inj.routes_dropped;
+          injector_totals.routes_mangled += inj.routes_mangled;
+        }
+        if (is_treatment && matrix[s].crash_s >= 0.0) {
+          const double r = recovery_seconds(*series[index], matrix[s].crash_s,
+                                            matrix[s].restart_s);
+          ++recovery_runs;
+          if (r >= 0.0) {
+            recovery_sum += r;
+            ++recovered;
+          }
+        }
       }
       const stats::Cdf cdf = merged_cdf(runs, kProbeBytes);
       const char* arm_name = is_treatment ? "treatment" : "control";
@@ -261,6 +413,77 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(agents.staleness_withdrawals),
             static_cast<unsigned long long>(agents.crashes),
             static_cast<unsigned long long>(agents.restarts));
+      }
+      if (!extended || !is_treatment) continue;
+      // Durable-state addendum, treatment arm only (control has no agents
+      // so every counter would read zero). Printed after the legacy row so
+      // the first ten scenarios' bytes stay untouched.
+      const double recovery_avg =
+          recovered > 0 ? recovery_sum / static_cast<double>(recovered) : -1.0;
+      if (matrix[s].crash_s >= 0.0) {
+        if (recovered > 0) {
+          std::printf("%-14s %-10s recovery to 90%% steady: %.1f s after "
+                      "restart (%zu/%zu run(s))\n",
+                      "", "", recovery_avg, recovered, recovery_runs);
+        } else {
+          std::printf("%-14s %-10s recovery to 90%% steady: never "
+                      "(0/%zu run(s))\n",
+                      "", "", recovery_runs);
+        }
+      }
+      std::printf(
+          "%-14s %-10s reconcile rep/orph/conf %llu/%llu/%llu | governor "
+          "scale/skip/rollback/rolled/cooldown %llu/%llu/%llu/%llu/%llu | "
+          "persist ckpt/restore/reject/rec/disc %llu/%llu/%llu/%llu/%llu\n",
+          "", "", static_cast<unsigned long long>(agents.reconcile_repaired),
+          static_cast<unsigned long long>(agents.reconcile_orphaned),
+          static_cast<unsigned long long>(agents.reconcile_conflicting),
+          static_cast<unsigned long long>(agents.governor_budget_scaledowns),
+          static_cast<unsigned long long>(agents.governor_hysteresis_skips),
+          static_cast<unsigned long long>(agents.governor_rollbacks),
+          static_cast<unsigned long long>(agents.governor_routes_rolled_back),
+          static_cast<unsigned long long>(agents.governor_cooldown_polls),
+          static_cast<unsigned long long>(persist_totals.checkpoints_written),
+          static_cast<unsigned long long>(persist_totals.restores),
+          static_cast<unsigned long long>(persist_totals.snapshots_rejected),
+          static_cast<unsigned long long>(persist_totals.records_recovered),
+          static_cast<unsigned long long>(persist_totals.records_discarded));
+      if (opt.base.json) {
+        std::printf(
+            "{\"bench\":\"fault_matrix_ext\",\"scenario\":\"%s\","
+            "\"arm\":\"%s\",\"recovery_s\":%.3f,\"recovered_runs\":%zu,"
+            "\"recovery_runs\":%zu,"
+            "\"reconcile\":{\"repaired\":%llu,\"orphaned\":%llu,"
+            "\"conflicting\":%llu},"
+            "\"governor\":{\"budget_scaledowns\":%llu,"
+            "\"hysteresis_skips\":%llu,\"rollbacks\":%llu,"
+            "\"routes_rolled_back\":%llu,\"cooldown_polls\":%llu},"
+            "\"persist\":{\"checkpoints_written\":%llu,\"restores\":%llu,"
+            "\"snapshots_rejected\":%llu,\"records_recovered\":%llu,"
+            "\"records_discarded\":%llu},"
+            "\"injector\":{\"routes_flushed\":%llu,"
+            "\"snapshots_corrupted\":%llu,\"routes_dropped\":%llu,"
+            "\"routes_mangled\":%llu}}\n",
+            matrix[s].name.c_str(), arm_name, recovery_avg, recovered,
+            recovery_runs,
+            static_cast<unsigned long long>(agents.reconcile_repaired),
+            static_cast<unsigned long long>(agents.reconcile_orphaned),
+            static_cast<unsigned long long>(agents.reconcile_conflicting),
+            static_cast<unsigned long long>(agents.governor_budget_scaledowns),
+            static_cast<unsigned long long>(agents.governor_hysteresis_skips),
+            static_cast<unsigned long long>(agents.governor_rollbacks),
+            static_cast<unsigned long long>(agents.governor_routes_rolled_back),
+            static_cast<unsigned long long>(agents.governor_cooldown_polls),
+            static_cast<unsigned long long>(persist_totals.checkpoints_written),
+            static_cast<unsigned long long>(persist_totals.restores),
+            static_cast<unsigned long long>(persist_totals.snapshots_rejected),
+            static_cast<unsigned long long>(persist_totals.records_recovered),
+            static_cast<unsigned long long>(persist_totals.records_discarded),
+            static_cast<unsigned long long>(injector_totals.routes_flushed),
+            static_cast<unsigned long long>(
+                injector_totals.snapshots_corrupted),
+            static_cast<unsigned long long>(injector_totals.routes_dropped),
+            static_cast<unsigned long long>(injector_totals.routes_mangled));
       }
     }
   }

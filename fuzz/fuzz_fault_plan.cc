@@ -1,0 +1,26 @@
+// libFuzzer target for the FaultPlan spec grammar: every input either
+// parses into a plan or is rejected with std::invalid_argument — any
+// other escape (crash, different exception type, runaway allocation) is
+// a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault_plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Grammar inputs are short command lines; huge inputs only slow the
+  // fuzzer down without reaching new states.
+  if (size > 4096) return 0;
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto plan = riptide::faults::FaultPlan::parse(spec);
+    (void)plan.size();
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path.
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// libFuzzer target for the `ss` text parser: a monitoring agent reads
+// this format from a pipe, so arbitrary garbage must be skipped, never
+// thrown on or crashed over. Parsed lines are pushed back through the
+// formatter to exercise the printer on attacker-shaped field values too.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "host/host.h"
+#include "host/ss_format.h"
+#include "sim/time.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = riptide::host::parse_socket_stats(text);
+
+  std::vector<riptide::host::SocketInfo> infos;
+  infos.reserve(parsed.size());
+  for (const auto& p : parsed) {
+    riptide::host::SocketInfo info;
+    info.state = p.state;
+    info.tuple.local_addr = p.local_addr;
+    info.tuple.local_port = p.local_port;
+    info.tuple.remote_addr = p.remote_addr;
+    info.tuple.remote_port = p.remote_port;
+    info.cwnd_segments = p.cwnd_segments;
+    info.bytes_acked = p.bytes_acked;
+    if (p.rtt_ms >= 0.0) {
+      info.srtt = riptide::sim::Time::from_milliseconds(p.rtt_ms);
+    }
+    info.bytes_in_flight = p.bytes_in_flight;
+    info.retransmissions = p.retransmissions;
+    info.segments_sent = p.segments_sent;
+    infos.push_back(info);
+  }
+  (void)riptide::host::format_socket_stats(infos);
+  return 0;
+}

@@ -22,7 +22,8 @@ RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
                         ? std::move(stats_source)
                         : std::make_unique<HostSocketStatsSource>(host)),
       combiner_(make_combiner(config.combiner)),
-      rng_(rng) {
+      rng_(rng),
+      governor_(governor_config(config)) {
   if (config_.alpha < 0.0 || config_.alpha > 1.0) {
     throw std::invalid_argument("RiptideAgent: alpha outside [0, 1]");
   }
@@ -50,6 +51,21 @@ RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
     throw std::invalid_argument(
         "RiptideAgent: staleness_retrans_fraction outside (0, 1]");
   }
+  if (config_.governor_rollback_retrans_fraction < 0.0 ||
+      config_.governor_rollback_retrans_fraction > 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: governor_rollback_retrans_fraction outside [0, 1]");
+  }
+}
+
+GovernorConfig RiptideAgent::governor_config(const RiptideConfig& config) {
+  return GovernorConfig{
+      .budget_segments = config.governor_budget_segments,
+      .hysteresis_segments = config.governor_hysteresis_segments,
+      .rollback_retrans_fraction = config.governor_rollback_retrans_fraction,
+      .min_packets = config.governor_min_packets,
+      .cooldown = config.governor_cooldown,
+  };
 }
 
 void RiptideAgent::start() {
@@ -59,6 +75,12 @@ void RiptideAgent::start() {
   started_once_ = true;
 
   if (config_.adopt_routes_on_start) adopt_existing_routes();
+
+  // Governor deltas measure from process start, not from a predecessor's
+  // last poll: whatever retransmissions accumulated while this process
+  // wasn't running are not evidence about its routes.
+  prev_host_retrans_ = host_.total_retransmissions();
+  prev_host_packets_ = host_.stats().packets_sent;
 
   // Deterministic per-agent phase offset: co-located agents started at the
   // same instant otherwise poll — and program routes — in lockstep.
@@ -87,11 +109,44 @@ void RiptideAgent::crash() {
   // installed remain in the host routing table.
   table_ = ObservedTable{};
   seen_counters_.clear();
+  installed_.clear();
+  governor_ = SafetyGovernor{governor_config(config_)};
   ++stats_.crashes;
 }
 
-void RiptideAgent::restore_table(ObservedTable snapshot) {
-  table_ = std::move(snapshot);
+void RiptideAgent::restore_table(ObservedTable snapshot,
+                                 bool reinstall_routes) {
+  if (!reinstall_routes) {
+    table_ = std::move(snapshot);
+    return;
+  }
+  // Reinstalling means the host routing table did not survive (reboot):
+  // re-age every entry from now so the TTL clock restarts with the
+  // process, and program the learned windows back immediately rather
+  // than waiting a full learning cycle.
+  const sim::Time now = sim_.now();
+  table_ = ObservedTable{};
+  for (const auto& [destination, state] : snapshot.entries()) {
+    const double final_window = clamp_window(state.final_window_segments);
+    table_.put(destination,
+               DestinationState{final_window, now, state.updates});
+    const auto initcwnd =
+        static_cast<std::uint32_t>(std::lround(final_window));
+    const std::uint32_t initrwnd =
+        config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+    program_route(destination, initcwnd, initrwnd);
+  }
+}
+
+void RiptideAgent::absorb_restored_counters(const AgentStats& restored) {
+  stats_.polls = std::max(stats_.polls, restored.polls);
+  stats_.connections_observed =
+      std::max(stats_.connections_observed, restored.connections_observed);
+  stats_.destinations_updated =
+      std::max(stats_.destinations_updated, restored.destinations_updated);
+  stats_.routes_set = std::max(stats_.routes_set, restored.routes_set);
+  stats_.routes_expired =
+      std::max(stats_.routes_expired, restored.routes_expired);
 }
 
 void RiptideAgent::adopt_existing_routes() {
@@ -109,6 +164,9 @@ void RiptideAgent::adopt_existing_routes() {
         entry.prefix,
         clamp_window(static_cast<double>(entry.metrics.initcwnd_segments)),
         now);
+    // Adoption transfers ownership: the route is now this process's to
+    // reconcile, withdraw, or roll back.
+    installed_[entry.prefix] = entry.metrics;
     ++stats_.routes_adopted;
   }
 }
@@ -137,6 +195,7 @@ void RiptideAgent::program_route(const net::Prefix& dst,
     return;
   }
   ++stats_.routes_set;
+  installed_[dst] = host::RouteMetrics{initcwnd, initrwnd};
   if (const auto it = pending_ops_.find(dst); it != pending_ops_.end()) {
     it->second.timer.cancel();
     pending_ops_.erase(it);
@@ -151,6 +210,7 @@ void RiptideAgent::withdraw_route(const net::Prefix& dst) {
     handle_actuator_failure(dst, 0, 0, /*clear=*/true);
     return;
   }
+  installed_.erase(dst);
   if (const auto it = pending_ops_.find(dst); it != pending_ops_.end()) {
     it->second.timer.cancel();
     pending_ops_.erase(it);
@@ -198,7 +258,12 @@ void RiptideAgent::retry_pending(const net::Prefix& dst) {
     handle_actuator_failure(dst, op.initcwnd, op.initrwnd, op.clear);
     return;
   }
-  if (!op.clear) ++stats_.routes_set;
+  if (op.clear) {
+    installed_.erase(dst);
+  } else {
+    ++stats_.routes_set;
+    installed_[dst] = host::RouteMetrics{op.initcwnd, op.initrwnd};
+  }
   pending_ops_.erase(dst);
 }
 
@@ -279,6 +344,33 @@ void RiptideAgent::poll_once() {
   ++stats_.polls;
   const sim::Time now = sim_.now();
 
+  // 0. Safety governor: host-wide health gates everything else. The
+  // retransmit deltas are maintained every poll — including cooldown
+  // polls — so the first poll after cooldown judges only the cooldown
+  // window, not the incident that triggered the rollback.
+  if (governor_.rollback_enabled()) {
+    const std::uint64_t host_retrans = host_.total_retransmissions();
+    const std::uint64_t host_packets = host_.stats().packets_sent;
+    const std::uint64_t d_retrans = host_retrans - prev_host_retrans_;
+    const std::uint64_t d_packets = host_packets - prev_host_packets_;
+    prev_host_retrans_ = host_retrans;
+    prev_host_packets_ = host_packets;
+    if (governor_.in_cooldown(now)) {
+      ++stats_.governor_cooldown_polls;
+      return;
+    }
+    if (governor_.should_rollback(d_retrans, d_packets, now)) {
+      emergency_rollback(now);
+      return;
+    }
+  }
+
+  // 0.5. Reconcile against the live routing table before acting on fresh
+  // observations: drift since the last poll (externally deleted or
+  // mangled routes, orphans) is detected and counted here, where the
+  // programming pass below would otherwise silently paper over it.
+  if (config_.reconcile_routes) reconcile_route_table();
+
   // 1. Snapshot open connections. A failed poll is "no information", not
   // "no connections": skip folding *and* expiry — withdrawing routes
   // because the observer glitched would churn windows on healthy paths.
@@ -317,7 +409,12 @@ void RiptideAgent::poll_once() {
   // retrans/segs_out, so both surfaces carry identical information.
   const auto deltas = retransmit_deltas(snapshot);
 
-  // 3-5. Combine, fold history, clamp, program.
+  // 3-4. Combine, fold history, clamp. Programming is deferred until all
+  // destinations have folded so the governor's budget can be judged over
+  // the whole table; the program sequence below runs in the same
+  // ascending destination order this loop always has.
+  std::vector<std::pair<net::Prefix, double>> decisions;
+  decisions.reserve(groups.size());
   for (const auto& [destination, observations] : groups) {
     if (observations.size() < config_.min_samples) continue;
     const double observed = combiner_->combine(observations);
@@ -342,13 +439,38 @@ void RiptideAgent::poll_once() {
                               static_cast<double>(window_cap_segments_));
     }
     table_.store_final(destination, final_window, now);
+    decisions.emplace_back(destination, final_window);
+    ++stats_.destinations_updated;
+  }
 
-    const auto initcwnd =
-        static_cast<std::uint32_t>(std::lround(final_window));
+  // Governor budget: when the whole table wants more total initcwnd than
+  // the host is allowed, every program this poll shrinks proportionally.
+  // The table keeps the unscaled learned values — the budget caps what is
+  // *installed*, not what is known.
+  double scale = 1.0;
+  if (governor_.config().budget_segments > 0) {
+    double total_desired = 0.0;
+    for (const auto& [destination, state] : table_.entries()) {
+      total_desired += state.final_window_segments;
+    }
+    scale = governor_.budget_scale(total_desired);
+    if (scale < 1.0) ++stats_.governor_budget_scaledowns;
+  }
+
+  // 5. Program routes, still in ascending destination order.
+  for (const auto& [destination, final_window] : decisions) {
+    const double target = scale < 1.0 ? final_window * scale : final_window;
+    const auto initcwnd = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::lround(target)));
     const std::uint32_t initrwnd =
         config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+    if (const auto it = installed_.find(destination);
+        it != installed_.end() &&
+        governor_.within_hysteresis(it->second.initcwnd_segments, initcwnd)) {
+      ++stats_.governor_hysteresis_skips;
+      continue;
+    }
     program_route(destination, initcwnd, initrwnd);
-    ++stats_.destinations_updated;
   }
 
   // §V hardening: destinations retransmitting heavily under a learned
@@ -361,6 +483,77 @@ void RiptideAgent::poll_once() {
   for (const auto& destination : table_.expire(now, config_.ttl)) {
     withdraw_route(destination);
     ++stats_.routes_expired;
+  }
+}
+
+void RiptideAgent::emergency_rollback(sim::Time now) {
+  // Withdraw everything this process knows about or may yet act on:
+  // learned entries, routes believed installed (the sets differ after
+  // adoption, expiry races, or partial failures), and destinations with
+  // in-flight retries. Clearing an absent route is a no-op at the host,
+  // so the union is safe to sweep.
+  std::vector<net::Prefix> targets;
+  for (const auto& [destination, state] : table_.entries()) {
+    targets.push_back(destination);
+  }
+  for (const auto& [destination, metrics] : installed_) {
+    targets.push_back(destination);
+  }
+  for (const auto& [destination, op] : pending_ops_) {
+    targets.push_back(destination);
+  }
+  std::sort(targets.begin(), targets.end(), net::PrefixOrder{});
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (const auto& destination : targets) withdraw_route(destination);
+
+  stats_.governor_routes_rolled_back += targets.size();
+  ++stats_.governor_rollbacks;
+  table_ = ObservedTable{};
+  seen_counters_.clear();
+  governor_.arm_cooldown(now);
+}
+
+void RiptideAgent::reconcile_route_table() {
+  // Pass 1: live learned-looking routes vs what we installed. Iterates a
+  // snapshot of the table so repairs/withdrawals don't perturb the walk.
+  for (const auto& entry : host_.routing_table().learned_routes()) {
+    // A pending retry already carries the newest decision for this
+    // destination; reconciling underneath it would race the retry timer.
+    if (pending_ops_.contains(entry.prefix)) continue;
+    const auto it = installed_.find(entry.prefix);
+    if (it == installed_.end()) {
+      // Not ours. If the table wants this destination, the next poll will
+      // program it properly; otherwise it is an orphan — a learned-looking
+      // route no running process owns — and stale windows must not
+      // outlive their owner.
+      if (table_.contains(entry.prefix)) continue;
+      ++stats_.reconcile_orphaned;
+      withdraw_route(entry.prefix);
+      continue;
+    }
+    if (entry.metrics != it->second) {
+      // Mangled in place (e.g. an operator's `ip route replace` fat
+      // finger): reassert what we installed.
+      ++stats_.reconcile_conflicting;
+      ++stats_.reconcile_repaired;
+      program_route(entry.prefix, it->second.initcwnd_segments,
+                    it->second.initrwnd_segments);
+    }
+  }
+
+  // Pass 2: routes we installed that vanished from the live table
+  // (externally deleted). Collect first: program_route mutates installed_.
+  std::vector<std::pair<net::Prefix, host::RouteMetrics>> missing;
+  for (const auto& [destination, metrics] : installed_) {
+    if (pending_ops_.contains(destination)) continue;
+    if (host_.routing_table().find_route(destination) == nullptr) {
+      missing.emplace_back(destination, metrics);
+    }
+  }
+  for (const auto& [destination, metrics] : missing) {
+    ++stats_.reconcile_repaired;
+    program_route(destination, metrics.initcwnd_segments,
+                  metrics.initrwnd_segments);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/combiner.h"
 #include "core/config.h"
+#include "core/governor.h"
 #include "core/observed_table.h"
 #include "core/route_programmer.h"
 #include "core/socket_stats_source.h"
@@ -35,6 +36,18 @@ struct AgentStats {
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;        // start() calls after the first
   std::uint64_t routes_adopted = 0;  // leftover routes re-aged at start()
+
+  // -- route reconciliation (desired vs live routing table) --
+  std::uint64_t reconcile_repaired = 0;     // re-programmed deleted/mangled
+  std::uint64_t reconcile_orphaned = 0;     // withdrew learned route not ours
+  std::uint64_t reconcile_conflicting = 0;  // live metrics != installed
+
+  // -- safety governor --
+  std::uint64_t governor_budget_scaledowns = 0;  // polls scaled to budget
+  std::uint64_t governor_hysteresis_skips = 0;   // programs damped away
+  std::uint64_t governor_rollbacks = 0;          // emergency rollbacks fired
+  std::uint64_t governor_routes_rolled_back = 0;
+  std::uint64_t governor_cooldown_polls = 0;     // polls skipped cooling down
 };
 
 // The Riptide agent (paper Algorithm 1). Runs on one host, entirely from
@@ -85,9 +98,20 @@ class RiptideAgent {
 
   // Warm-restart support: a periodically persisted table snapshot can be
   // restored before start() to resume with history instead of re-learning
-  // from scratch.
+  // from scratch. With `reinstall_routes` the restored entries are also
+  // re-aged from now and programmed into the host routing table
+  // immediately — the jump-start for a host whose routes did not survive
+  // (reboot rather than mere process death). Without it the table is
+  // taken verbatim, timestamps included.
   ObservedTable snapshot_table() const { return table_; }
-  void restore_table(ObservedTable snapshot);
+  void restore_table(ObservedTable snapshot, bool reinstall_routes = false);
+
+  // Folds counters recovered from a persisted snapshot into this agent's
+  // stats. Counters are cumulative and monotone, so the restored value is
+  // a floor: each counter becomes max(current, restored). A freshly
+  // constructed process adopts the snapshot's totals; an agent that
+  // already counted past them is left alone.
+  void absorb_restored_counters(const AgentStats& restored);
 
   // One Algorithm-1 iteration. Exposed so tests and tools can step the
   // agent deterministically.
@@ -140,8 +164,12 @@ class RiptideAgent {
     sim::EventHandle timer;
   };
 
+  static GovernorConfig governor_config(const RiptideConfig& config);
   double clamp_window(double value) const;
   void adopt_existing_routes();
+  // Governor actions and reconciliation (poll_once helpers).
+  void emergency_rollback(sim::Time now);
+  void reconcile_route_table();
   // Actuator wrappers: perform the op now; on failure, enqueue a retry.
   void program_route(const net::Prefix& dst, std::uint32_t initcwnd,
                      std::uint32_t initrwnd);
@@ -173,6 +201,14 @@ class RiptideAgent {
   std::map<net::Prefix, PendingOp> pending_ops_;
   std::unordered_map<tcp::FourTuple, SeenCounters, tcp::FourTupleHash>
       seen_counters_;
+  // What this agent believes it has installed in the host routing table
+  // (successful programs minus successful withdrawals). The reconciler
+  // diffs this against the live table; lost with the process on crash().
+  std::map<net::Prefix, host::RouteMetrics, net::PrefixOrder> installed_;
+  SafetyGovernor governor_;
+  // Host-wide counter values at the previous poll, for governor deltas.
+  std::uint64_t prev_host_retrans_ = 0;
+  std::uint64_t prev_host_packets_ = 0;
   AgentStats stats_;
 };
 

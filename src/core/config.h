@@ -115,6 +115,45 @@ struct RiptideConfig {
   // puts the predecessor's leftover routes back under TTL control instead
   // of letting stale windows live forever.
   bool adopt_routes_on_start = true;
+
+  // ------------------------------------------------------------------
+  // Durable state and the safety governor. Same contract as the knobs
+  // above: every default is "off", and an off-knob run is bit-identical
+  // to an agent that doesn't have the machinery at all.
+  // ------------------------------------------------------------------
+
+  // How often the agent's learned state is checkpointed to a snapshot
+  // store (harnesses read this to decide whether to attach an
+  // AgentCheckpointer). Zero disables persistence entirely.
+  sim::Time checkpoint_interval = sim::Time::zero();
+  // Snapshot generations to retain; ≥ 2 so a corrupted newest snapshot
+  // still leaves a fallback.
+  std::uint32_t checkpoint_keep = 2;
+
+  // Each poll, diff the host routing table against what this agent
+  // believes it installed: repair routes an outside actor deleted or
+  // mangled, withdraw learned-looking routes nobody owns.
+  bool reconcile_routes = false;
+
+  // Host-wide budget on the sum of installed initcwnds, in segments.
+  // When the total the agent wants exceeds it, every programmed window
+  // is scaled down proportionally (the learned table keeps the unscaled
+  // values). 0 = unlimited.
+  std::uint32_t governor_budget_segments = 0;
+
+  // Route-churn damping: skip reprogramming a destination whose desired
+  // initcwnd is within this many segments of what is already installed.
+  // 0 = program every poll (historical behavior).
+  std::uint32_t governor_hysteresis_segments = 0;
+
+  // Emergency rollback: when the host-wide retransmission rate since the
+  // previous poll exceeds this fraction of packets sent (judged only
+  // once `governor_min_packets` were sent in the window), the governor
+  // withdraws every learned route and sits out `governor_cooldown`
+  // before re-learning from scratch. 0 disables the rollback path.
+  double governor_rollback_retrans_fraction = 0.0;
+  std::uint64_t governor_min_packets = 100;
+  sim::Time governor_cooldown = sim::Time::seconds(30);
 };
 
 }  // namespace riptide::core

@@ -24,6 +24,11 @@ void ObservedTable::store_final(const net::Prefix& destination,
   entry.last_updated = now;
 }
 
+void ObservedTable::put(const net::Prefix& destination,
+                        const DestinationState& state) {
+  entries_[destination] = state;
+}
+
 bool ObservedTable::contains(const net::Prefix& destination) const {
   return entries_.contains(destination);
 }

@@ -16,6 +16,9 @@ struct DestinationState {
   double final_window_segments = 0.0;
   sim::Time last_updated;
   std::uint64_t updates = 0;
+
+  friend bool operator==(const DestinationState&,
+                         const DestinationState&) = default;
 };
 
 // Riptide's "observed table" (§III-B): destination group -> learned window.
@@ -33,6 +36,10 @@ class ObservedTable {
   void store_final(const net::Prefix& destination, double final_value,
                    sim::Time now);
 
+  // Installs a complete entry verbatim (snapshot restore); replaces any
+  // existing entry for the destination.
+  void put(const net::Prefix& destination, const DestinationState& state);
+
   bool contains(const net::Prefix& destination) const;
   const DestinationState* find(const net::Prefix& destination) const;
 
@@ -43,13 +50,19 @@ class ObservedTable {
   // Drops one entry (staleness-guard withdrawal); false when absent.
   bool erase(const net::Prefix& destination);
 
-  const std::map<net::Prefix, DestinationState>& entries() const {
+  const std::map<net::Prefix, DestinationState, net::PrefixOrder>& entries()
+      const {
     return entries_;
   }
   std::size_t size() const { return entries_.size(); }
 
+  friend bool operator==(const ObservedTable&, const ObservedTable&) = default;
+
  private:
-  std::map<net::Prefix, DestinationState> entries_;
+  // Keyed by the explicit PrefixOrder: iteration order determines both
+  // snapshot record order and route-programming order, so it must be the
+  // same on every platform and in every process generation.
+  std::map<net::Prefix, DestinationState, net::PrefixOrder> entries_;
 };
 
 }  // namespace riptide::core

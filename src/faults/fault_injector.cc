@@ -1,5 +1,6 @@
 #include "faults/fault_injector.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,11 +27,19 @@ void FaultInjector::validate(const FaultEvent& ev) const {
       }
       break;
     case FaultKind::kAgentCrash:
+    case FaultKind::kSnapshotCorrupt:
+    case FaultKind::kRouteDrift:
       if (ev.host_index >= static_cast<int>(hooks_.size())) {
         throw std::invalid_argument(
-            "FaultInjector: crash host index " +
-            std::to_string(ev.host_index) + " out of range (have " +
-            std::to_string(hooks_.size()) + " agents)");
+            std::string("FaultInjector: '") + to_string(ev.kind) +
+            "' host index " + std::to_string(ev.host_index) +
+            " out of range (have " + std::to_string(hooks_.size()) +
+            " agents)");
+      }
+      if (ev.kind == FaultKind::kRouteDrift &&
+          (ev.value > 1.0 || ev.value2 < 0.0 || ev.value2 > 1.0)) {
+        throw std::invalid_argument(
+            "FaultInjector: route-drift fractions outside [0, 1]");
       }
       break;
     case FaultKind::kActuatorFail:
@@ -92,6 +101,12 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultKind::kAgentCrash:
       apply_crash(ev);
+      break;
+    case FaultKind::kSnapshotCorrupt:
+      apply_snapshot_corrupt(ev);
+      break;
+    case FaultKind::kRouteDrift:
+      apply_route_drift(ev);
       break;
   }
 }
@@ -181,30 +196,85 @@ void FaultInjector::apply_poll_window(const FaultEvent& ev) {
 }
 
 void FaultInjector::apply_crash(const FaultEvent& ev) {
-  if (ev.host_index >= 0) {
-    crash_one(hooks_[static_cast<std::size_t>(ev.host_index)], ev.duration,
-              ev.warm);
-    return;
-  }
-  for (const AgentHooks& hooks : hooks_) {
-    crash_one(hooks, ev.duration, ev.warm);
-  }
+  for_targets(ev, [&](const AgentHooks& hooks) {
+    crash_one(hooks, ev.duration, ev.warm, ev.flush_routes);
+  });
 }
 
-void FaultInjector::crash_one(AgentHooks hooks, sim::Time downtime,
-                              bool warm) {
+void FaultInjector::crash_one(AgentHooks hooks, sim::Time downtime, bool warm,
+                              bool flush_routes) {
   core::RiptideAgent* agent = hooks.agent;
   if (agent == nullptr || !agent->running()) return;
-  // Warm restart models a periodically checkpointed ObservedTable: the
-  // snapshot is what was on disk at crash time.
-  core::ObservedTable snapshot;
-  if (warm) snapshot = agent->snapshot_table();
+  persist::AgentCheckpointer* checkpointer = hooks.checkpointer;
+  // Warm restart restores persisted state. With a real checkpointer the
+  // restore goes through the snapshot store and decoder — torn or
+  // corrupted snapshots included; without one, fall back to modeling a
+  // perfect checkpoint with an in-memory copy taken at crash time.
+  core::ObservedTable memory_snapshot;
+  if (warm && checkpointer == nullptr) {
+    memory_snapshot = agent->snapshot_table();
+  }
   agent->crash();
   ++stats_.crashes_injected;
+  if (flush_routes) {
+    // The host rebooted, not just the process: learned routes are gone
+    // too, which is exactly the window Riptide's jump-start exists for.
+    host::RoutingTable& routes = agent->host().routing_table();
+    for (const auto& entry : routes.learned_routes()) {
+      routes.remove(entry.prefix);
+      ++stats_.routes_flushed;
+    }
+  }
   ++stats_.restarts_scheduled;
-  sim_.schedule(downtime, [agent, warm, snapshot = std::move(snapshot)] {
-    if (warm) agent->restore_table(snapshot);
+  sim_.schedule(downtime, [agent, checkpointer, warm, flush_routes,
+                           memory_snapshot = std::move(memory_snapshot)] {
+    if (warm) {
+      if (checkpointer != nullptr) {
+        checkpointer->restore(/*reinstall_routes=*/flush_routes);
+      } else {
+        agent->restore_table(memory_snapshot,
+                             /*reinstall_routes=*/flush_routes);
+      }
+    }
     agent->start();
+  });
+}
+
+void FaultInjector::apply_snapshot_corrupt(const FaultEvent& ev) {
+  const auto offset = static_cast<std::size_t>(ev.value);
+  for_targets(ev, [&](const AgentHooks& hooks) {
+    if (hooks.checkpointer == nullptr) return;
+    if (hooks.checkpointer->store().corrupt_newest(offset)) {
+      ++stats_.snapshots_corrupted;
+    }
+  });
+}
+
+void FaultInjector::apply_route_drift(const FaultEvent& ev) {
+  for_targets(ev, [&](const AgentHooks& hooks) {
+    if (hooks.agent == nullptr) return;
+    host::RoutingTable& routes = hooks.agent->host().routing_table();
+    const auto learned = routes.learned_routes();
+    const auto total = learned.size();
+    const auto to_delete = static_cast<std::size_t>(
+        std::llround(ev.value * static_cast<double>(total)));
+    const auto to_mangle = static_cast<std::size_t>(
+        std::llround(ev.value2 * static_cast<double>(total)));
+    // learned_routes() is in PrefixOrder, so which routes get hit is a
+    // pure function of (plan, state) — no RNG consumed.
+    std::size_t i = 0;
+    for (; i < to_delete && i < total; ++i) {
+      routes.remove(learned[i].prefix);
+      ++stats_.routes_dropped;
+    }
+    for (std::size_t m = 0; m < to_mangle && i < total; ++m, ++i) {
+      const host::RouteEntry& entry = learned[i];
+      if (entry.device == nullptr) continue;
+      routes.add_or_replace(
+          entry.prefix, *entry.device,
+          host::RouteMetrics{1, entry.metrics.initrwnd_segments});
+      ++stats_.routes_mangled;
+    }
   });
 }
 

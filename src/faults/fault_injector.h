@@ -7,6 +7,7 @@
 #include "core/agent.h"
 #include "faults/fault_plan.h"
 #include "faults/faulty.h"
+#include "persist/checkpointer.h"
 #include "sim/simulator.h"
 
 namespace riptide::faults {
@@ -20,6 +21,10 @@ struct FaultInjectorStats {
   std::uint64_t poll_windows = 0;      // poll-failure / partial windows
   std::uint64_t crashes_injected = 0;
   std::uint64_t restarts_scheduled = 0;
+  std::uint64_t routes_flushed = 0;       // reboot crashes: routes lost too
+  std::uint64_t snapshots_corrupted = 0;  // stored snapshots bit-flipped
+  std::uint64_t routes_dropped = 0;       // route-drift deletions
+  std::uint64_t routes_mangled = 0;       // route-drift in-place rewrites
 };
 
 // Turns a declarative FaultPlan into scheduled simulator events against a
@@ -40,6 +45,10 @@ class FaultInjector {
     core::RiptideAgent* agent = nullptr;
     FaultyRouteProgrammer* actuator = nullptr;
     FaultySocketStatsSource* stats_source = nullptr;
+    // Non-null when the agent persists state; warm restarts then restore
+    // from the snapshot store (exercising the real decode path) instead
+    // of from a perfect in-memory copy of the table.
+    persist::AgentCheckpointer* checkpointer = nullptr;
   };
 
   FaultInjector(sim::Simulator& sim, cdn::Topology& topology, FaultPlan plan)
@@ -66,7 +75,19 @@ class FaultInjector {
   void apply_actuator_window(const FaultEvent& ev);
   void apply_poll_window(const FaultEvent& ev);
   void apply_crash(const FaultEvent& ev);
-  void crash_one(AgentHooks hooks, sim::Time downtime, bool warm);
+  void crash_one(AgentHooks hooks, sim::Time downtime, bool warm,
+                 bool flush_routes);
+  void apply_snapshot_corrupt(const FaultEvent& ev);
+  void apply_route_drift(const FaultEvent& ev);
+  // Dispatches an agent-targeted event to one hook or all of them.
+  template <typename Fn>
+  void for_targets(const FaultEvent& ev, Fn&& fn) {
+    if (ev.host_index >= 0) {
+      fn(hooks_[static_cast<std::size_t>(ev.host_index)]);
+      return;
+    }
+    for (const AgentHooks& hooks : hooks_) fn(hooks);
+  }
 
   sim::Simulator& sim_;
   cdn::Topology& topology_;

@@ -18,6 +18,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kPollFail: return "poll-fail";
     case FaultKind::kPollPartial: return "poll-partial";
     case FaultKind::kAgentCrash: return "agent-crash";
+    case FaultKind::kSnapshotCorrupt: return "snapshot-corrupt";
+    case FaultKind::kRouteDrift: return "route-drift";
   }
   return "unknown";
 }
@@ -101,11 +103,31 @@ FaultPlan& FaultPlan::poll_partial(sim::Time at, double drop_fraction,
 }
 
 FaultPlan& FaultPlan::agent_crash(sim::Time at, int host_index,
-                                  sim::Time downtime, bool warm) {
+                                  sim::Time downtime, bool warm,
+                                  bool flush_routes) {
   FaultEvent ev = event(at, FaultKind::kAgentCrash);
   ev.host_index = host_index;
   ev.duration = downtime;
   ev.warm = warm;
+  ev.flush_routes = flush_routes;
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::snapshot_corrupt(sim::Time at, int host_index,
+                                       std::size_t byte_offset) {
+  FaultEvent ev = event(at, FaultKind::kSnapshotCorrupt);
+  ev.host_index = host_index;
+  ev.value = static_cast<double>(byte_offset);
+  return add(ev);
+}
+
+FaultPlan& FaultPlan::route_drift(sim::Time at, int host_index,
+                                  double delete_fraction,
+                                  double mangle_fraction) {
+  FaultEvent ev = event(at, FaultKind::kRouteDrift);
+  ev.host_index = host_index;
+  ev.value = delete_fraction;
+  ev.value2 = mangle_fraction;
   return add(ev);
 }
 
@@ -234,12 +256,41 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         fail("crash host must be an index or -1 (all)", fragment);
       }
       bool warm = false;
+      bool flush = false;
       if (tok[4] == "warm") {
         warm = true;
+      } else if (tok[4] == "reboot-warm") {
+        warm = true;
+        flush = true;
+      } else if (tok[4] == "reboot-cold") {
+        flush = true;
       } else if (tok[4] != "cold") {
-        fail("crash mode must be 'warm' or 'cold'", fragment);
+        fail("crash mode must be 'warm', 'cold', 'reboot-warm' or "
+             "'reboot-cold'",
+             fragment);
       }
-      plan.agent_crash(at, static_cast<int>(host), seconds(tok[3]), warm);
+      plan.agent_crash(at, static_cast<int>(host), seconds(tok[3]), warm,
+                       flush);
+    } else if (action == "snap-corrupt") {
+      want(2);
+      const double host = parse_number(tok[2], fragment);
+      if (host < -1 || host != static_cast<int>(host)) {
+        fail("snap-corrupt host must be an index or -1 (all)", fragment);
+      }
+      const double offset = parse_number(tok[3], fragment);
+      if (offset < 0 || offset != static_cast<std::size_t>(offset)) {
+        fail("snap-corrupt offset must be a nonnegative integer", fragment);
+      }
+      plan.snapshot_corrupt(at, static_cast<int>(host),
+                            static_cast<std::size_t>(offset));
+    } else if (action == "route-drift") {
+      want(3);
+      const double host = parse_number(tok[2], fragment);
+      if (host < -1 || host != static_cast<int>(host)) {
+        fail("route-drift host must be an index or -1 (all)", fragment);
+      }
+      plan.route_drift(at, static_cast<int>(host), probability(tok[3]),
+                       probability(tok[4]));
     } else {
       fail("unknown action '" + action + "'", fragment);
     }

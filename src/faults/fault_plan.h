@@ -22,6 +22,8 @@ enum class FaultKind {
   kPollFail,      // `ss` poll throws with probability `value`
   kPollPartial,   // each snapshot entry dropped with probability `value`
   kAgentCrash,    // crash agent(s), restart after `duration` (warm or cold)
+  kSnapshotCorrupt,  // flip one bit of the newest persisted snapshot
+  kRouteDrift,    // externally delete/mangle learned routes in place
 };
 
 const char* to_string(FaultKind kind);
@@ -29,21 +31,29 @@ const char* to_string(FaultKind kind);
 // One deterministic, sim-time-scheduled fault event. Field use by kind:
 //   pop_a/pop_b  link events: the WAN pair (both directions)
 //   value        loss/fail probability, partial drop fraction, rate
-//                factor, or extra delay in ms
+//                factor, extra delay in ms, snapshot-corrupt byte offset,
+//                or route-drift delete fraction
+//   value2       route-drift only: fraction of learned routes mangled
 //   duration     burst/degradation length, flap period, or crash downtime
 //   count        flap transitions (down is first; even count ends up)
-//   host_index   crash target index into the topology's host list; -1 = all
-//   warm         crash only: restore the table snapshot on restart
+//   host_index   agent-target index into registration order; -1 = all
+//                (crash, snapshot-corrupt, route-drift)
+//   warm         crash only: restore the persisted/memory snapshot on
+//                restart
+//   flush_routes crash only: the host rebooted, so learned routes are
+//                flushed from the routing table at crash time
 struct FaultEvent {
   sim::Time at;
   FaultKind kind = FaultKind::kLinkDown;
   std::size_t pop_a = 0;
   std::size_t pop_b = 0;
   double value = 0.0;
+  double value2 = 0.0;
   sim::Time duration;
   int count = 0;
   int host_index = -1;
   bool warm = false;
+  bool flush_routes = false;
 };
 
 // A declarative, composable list of fault events. Build in code via the
@@ -56,8 +66,15 @@ struct FaultEvent {
 //            | 'delay' LINK EXTRA_MS DUR_S
 //            | 'actuator-fail' P DUR_S
 //            | 'poll-fail' P DUR_S | 'poll-partial' FRAC DUR_S
-//            | 'crash' HOST DOWNTIME_S ('warm'|'cold')
+//            | 'crash' HOST DOWNTIME_S MODE
+//            | 'snap-corrupt' HOST BYTE_OFFSET
+//            | 'route-drift' HOST DEL_FRAC MANGLE_FRAC
+//   MODE    := 'warm' | 'cold' | 'reboot-warm' | 'reboot-cold'
 //   LINK    := POP '-' POP        (PoP indices, e.g. 0-1)
+//
+// The reboot crash modes also flush learned routes from the host routing
+// table (process death keeps kernel routes; a reboot does not). HOST is an
+// agent index or -1 for all.
 //
 // Example: "@5 flap 0-1 2 6; @10 actuator-fail 0.3 30; @20 loss 0-1 0.05 10"
 // Whitespace between tokens is free-form; times accept fractions ("@2.5").
@@ -87,7 +104,11 @@ class FaultPlan {
   FaultPlan& poll_partial(sim::Time at, double drop_fraction,
                           sim::Time duration);
   FaultPlan& agent_crash(sim::Time at, int host_index, sim::Time downtime,
-                         bool warm);
+                         bool warm, bool flush_routes = false);
+  FaultPlan& snapshot_corrupt(sim::Time at, int host_index,
+                              std::size_t byte_offset);
+  FaultPlan& route_drift(sim::Time at, int host_index, double delete_fraction,
+                         double mangle_fraction);
 
   // Throws std::invalid_argument with the offending fragment on malformed
   // input. An empty (or all-whitespace) spec yields an empty plan.

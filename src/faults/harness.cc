@@ -45,12 +45,26 @@ FaultHarness::FaultHarness(cdn::Experiment& experiment, FaultPlan plan) {
   injector_ = std::make_unique<FaultInjector>(experiment.simulator(),
                                               experiment.topology(),
                                               std::move(plan));
+  const core::RiptideConfig& riptide = experiment.config().riptide;
+  const bool persist_state = riptide.checkpoint_interval > sim::Time::zero();
   for (const auto& agent : experiment.agents()) {
     FaultInjector::AgentHooks hooks;
     hooks.agent = agent.get();
     hooks.actuator = dynamic_cast<FaultyRouteProgrammer*>(&agent->programmer());
     hooks.stats_source =
         dynamic_cast<FaultySocketStatsSource*>(&agent->stats_source());
+    if (persist_state) {
+      // The harness plays the role of durable storage: stores live here,
+      // outside the agent, so they survive agent crash()/start() cycles
+      // exactly as files on disk survive a process.
+      stores_.push_back(std::make_unique<persist::MemorySnapshotStore>(
+          riptide.checkpoint_keep));
+      checkpointers_.push_back(std::make_unique<persist::AgentCheckpointer>(
+          experiment.simulator(), *agent, *stores_.back(),
+          persist::CheckpointerConfig{riptide.checkpoint_interval}));
+      checkpointers_.back()->start();
+      hooks.checkpointer = checkpointers_.back().get();
+    }
     injector_->register_agent(hooks);
   }
   injector_->arm();
@@ -64,6 +78,21 @@ FaultyActuatorStats FaultHarness::actuator_totals() const {
     total.ops_attempted += s.ops_attempted;
     total.failures_injected += s.failures_injected;
     total.ops_delayed += s.ops_delayed;
+  }
+  return total;
+}
+
+persist::CheckpointerStats FaultHarness::checkpointer_totals() const {
+  persist::CheckpointerStats total;
+  for (const auto& checkpointer : checkpointers_) {
+    const persist::CheckpointerStats& s = checkpointer->stats();
+    total.checkpoints_written += s.checkpoints_written;
+    total.bytes_written += s.bytes_written;
+    total.restores += s.restores;
+    total.snapshots_rejected += s.snapshots_rejected;
+    total.records_recovered += s.records_recovered;
+    total.records_discarded += s.records_discarded;
+    total.truncated_tails += s.truncated_tails;
   }
   return total;
 }

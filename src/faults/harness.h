@@ -1,11 +1,14 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "cdn/experiment.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "faults/faulty.h"
+#include "persist/checkpointer.h"
+#include "persist/snapshot_store.h"
 
 namespace riptide::faults {
 
@@ -45,10 +48,18 @@ class FaultHarness {
   // Decorator counters aggregated across every agent.
   FaultyActuatorStats actuator_totals() const;
   FaultyPollStats poll_totals() const;
+  // Checkpointer counters aggregated across every agent (all zero when
+  // config.riptide.checkpoint_interval was 0 and none were attached).
+  persist::CheckpointerStats checkpointer_totals() const;
 
  private:
   FaultHarness(cdn::Experiment& experiment, FaultPlan plan);
 
+  // When the experiment's RiptideConfig asks for checkpointing, the
+  // harness owns one in-memory store + checkpointer per agent (in agent
+  // order) and hands raw pointers to the injector's hooks.
+  std::vector<std::unique_ptr<persist::MemorySnapshotStore>> stores_;
+  std::vector<std::unique_ptr<persist::AgentCheckpointer>> checkpointers_;
   std::unique_ptr<FaultInjector> injector_;
 };
 

@@ -35,6 +35,27 @@ bool RoutingTable::has_route(const net::Prefix& prefix) const {
                      [&](const RouteEntry& e) { return e.prefix == prefix; });
 }
 
+const RouteEntry* RoutingTable::find_route(const net::Prefix& prefix) const {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const RouteEntry& e) { return e.prefix == prefix; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+std::vector<RouteEntry> RoutingTable::learned_routes() const {
+  std::vector<RouteEntry> learned;
+  for (const auto& entry : entries_) {
+    if (entry.prefix.length() == 0) continue;
+    if (entry.metrics.initcwnd_segments == 0) continue;
+    learned.push_back(entry);
+  }
+  std::sort(learned.begin(), learned.end(),
+            [](const RouteEntry& a, const RouteEntry& b) {
+              return net::PrefixOrder{}(a.prefix, b.prefix);
+            });
+  return learned;
+}
+
 const RouteEntry* RoutingTable::lookup(net::Ipv4Address dst) const {
   for (const auto& entry : entries_) {
     if (entry.prefix.contains(dst)) return &entry;

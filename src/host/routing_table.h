@@ -41,6 +41,16 @@ class RoutingTable {
 
   bool has_route(const net::Prefix& prefix) const;
 
+  // Exact-prefix lookup (no LPM); nullptr when absent. The agent's route
+  // reconciler uses this to compare what it installed with what the table
+  // actually holds now.
+  const RouteEntry* find_route(const net::Prefix& prefix) const;
+
+  // Routes that look Riptide-installed: non-default prefix with a nonzero
+  // initcwnd metric. Returned in PrefixOrder so callers iterating them
+  // act deterministically.
+  std::vector<RouteEntry> learned_routes() const;
+
   // Longest-prefix match; nullptr when nothing covers `dst`.
   const RouteEntry* lookup(net::Ipv4Address dst) const;
 

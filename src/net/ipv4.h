@@ -66,4 +66,18 @@ class Prefix {
   int length_ = 0;
 };
 
+// Explicit total order for containers keyed by Prefix: numeric address
+// first, then mask length. Spelled out (rather than relying on the
+// defaulted comparison's member order) because persisted snapshots and
+// route-programming sequences iterate maps in this order — it is part of
+// the on-disk byte contract, not an implementation detail.
+struct PrefixOrder {
+  bool operator()(const Prefix& a, const Prefix& b) const {
+    if (a.address().value() != b.address().value()) {
+      return a.address().value() < b.address().value();
+    }
+    return a.length() < b.length();
+  }
+};
+
 }  // namespace riptide::net

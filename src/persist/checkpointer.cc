@@ -1,0 +1,70 @@
+#include "persist/checkpointer.h"
+
+#include <utility>
+
+#include "persist/snapshot.h"
+
+namespace riptide::persist {
+
+AgentCheckpointer::AgentCheckpointer(sim::Simulator& sim,
+                                     core::RiptideAgent& agent,
+                                     SnapshotStore& store,
+                                     CheckpointerConfig config)
+    : sim_(sim), agent_(agent), store_(store), config_(config) {}
+
+void AgentCheckpointer::start() {
+  if (config_.interval <= sim::Time::zero()) return;
+  timer_.cancel();
+  timer_ = sim_.schedule_periodic(config_.interval, config_.interval, [this] {
+    // A crashed agent has no state worth persisting; writing here would
+    // overwrite the last good pre-crash snapshot with an empty table.
+    if (agent_.running()) checkpoint_now();
+  });
+}
+
+void AgentCheckpointer::stop() { timer_.cancel(); }
+
+void AgentCheckpointer::checkpoint_now() {
+  const core::AgentStats& s = agent_.stats();
+  SnapshotCounters counters{
+      .polls = s.polls,
+      .connections_observed = s.connections_observed,
+      .destinations_updated = s.destinations_updated,
+      .routes_set = s.routes_set,
+      .routes_expired = s.routes_expired,
+  };
+  const std::string bytes =
+      encode_snapshot(agent_.table(), counters, ++sequence_);
+  store_.save(bytes);
+  ++stats_.checkpoints_written;
+  stats_.bytes_written += bytes.size();
+}
+
+bool AgentCheckpointer::restore(bool reinstall_routes) {
+  for (const std::string& bytes : store_.load_newest_first()) {
+    DecodeResult decoded = decode_snapshot(bytes);
+    if (!decoded.valid) {
+      ++stats_.snapshots_rejected;
+      continue;
+    }
+    stats_.records_recovered += decoded.stats.records_ok;
+    stats_.records_discarded +=
+        decoded.stats.records_corrupt + decoded.stats.records_duplicate;
+    if (decoded.stats.truncated_tail) ++stats_.truncated_tails;
+
+    core::AgentStats restored;
+    restored.polls = decoded.counters.polls;
+    restored.connections_observed = decoded.counters.connections_observed;
+    restored.destinations_updated = decoded.counters.destinations_updated;
+    restored.routes_set = decoded.counters.routes_set;
+    restored.routes_expired = decoded.counters.routes_expired;
+    agent_.absorb_restored_counters(restored);
+    agent_.restore_table(std::move(decoded.table), reinstall_routes);
+    sequence_ = std::max(sequence_, decoded.sequence);
+    ++stats_.restores;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace riptide::persist

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/agent.h"
+#include "persist/snapshot_store.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace riptide::persist {
+
+struct CheckpointerConfig {
+  // How often the agent's state is snapshotted; zero disables the
+  // periodic timer (checkpoint_now() still works for tests/tools).
+  sim::Time interval;
+};
+
+struct CheckpointerStats {
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t restores = 0;            // restore() calls that found state
+  std::uint64_t snapshots_rejected = 0;  // stored snapshots that failed decode
+  std::uint64_t records_recovered = 0;   // table entries restored
+  std::uint64_t records_discarded = 0;   // corrupt/duplicate records skipped
+  std::uint64_t truncated_tails = 0;     // restores that hit a torn write
+};
+
+// Periodically persists a RiptideAgent's learned state into a
+// SnapshotStore, and warm-restarts the agent from the newest snapshot
+// that still decodes. The checkpointer sits entirely outside the agent's
+// control loop: the agent never knows it is being persisted, and a
+// checkpointing agent's simulation outputs are identical to a
+// non-checkpointing one's until a restore actually happens.
+class AgentCheckpointer {
+ public:
+  AgentCheckpointer(sim::Simulator& sim, core::RiptideAgent& agent,
+                    SnapshotStore& store, CheckpointerConfig config);
+  ~AgentCheckpointer() { stop(); }
+
+  AgentCheckpointer(const AgentCheckpointer&) = delete;
+  AgentCheckpointer& operator=(const AgentCheckpointer&) = delete;
+
+  // Arms the periodic timer (no-op when interval is zero). Ticks while
+  // the agent is crashed are skipped, not cancelled — checkpointing
+  // resumes by itself once the agent restarts.
+  void start();
+  void stop();
+
+  void checkpoint_now();
+
+  // Walks stored snapshots newest-first and restores the agent's table
+  // and counters from the first one that decodes; older snapshots are
+  // the fallback when the newest was torn or corrupted. Returns false
+  // when no stored snapshot yields a usable table. When
+  // `reinstall_routes` is set the restored windows are programmed into
+  // the host routing table immediately — the warm-reboot jump-start.
+  bool restore(bool reinstall_routes = false);
+
+  SnapshotStore& store() { return store_; }
+  const CheckpointerStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulator& sim_;
+  core::RiptideAgent& agent_;
+  SnapshotStore& store_;
+  CheckpointerConfig config_;
+  CheckpointerStats stats_;
+  std::uint64_t sequence_ = 0;
+  sim::EventHandle timer_;
+};
+
+}  // namespace riptide::persist

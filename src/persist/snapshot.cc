@@ -1,0 +1,197 @@
+#include "persist/snapshot.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "persist/crc32.h"
+
+namespace riptide::persist {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kCountersBytes = 44;
+constexpr std::size_t kRecordBytesV1 = 25;
+constexpr std::size_t kRecordBytesV2 = 33;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Readers index into a bounds-checked view; callers guarantee the size.
+std::uint16_t get_u16(std::string_view in, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(in[at]) |
+      (static_cast<unsigned char>(in[at + 1]) << 8));
+}
+
+std::uint32_t get_u32(std::string_view in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(in[at + i]);
+  }
+  return v;
+}
+
+void append_record(std::string& out, const net::Prefix& prefix,
+                   const core::DestinationState& state,
+                   std::uint16_t version) {
+  const std::size_t body_start = out.size();
+  put_u32(out, prefix.address().value());
+  out.push_back(static_cast<char>(prefix.length()));
+  put_u64(out, std::bit_cast<std::uint64_t>(state.final_window_segments));
+  put_u64(out, static_cast<std::uint64_t>(state.last_updated.ns()));
+  if (version >= kSnapshotVersion) put_u64(out, state.updates);
+  put_u32(out, crc32(out.data() + body_start, out.size() - body_start));
+}
+
+}  // namespace
+
+std::string encode_snapshot(const core::ObservedTable& table,
+                            const SnapshotCounters& counters,
+                            std::uint64_t sequence, std::uint16_t version) {
+  if (version != kSnapshotVersionV1 && version != kSnapshotVersion) {
+    throw std::invalid_argument("encode_snapshot: unsupported version " +
+                                std::to_string(version));
+  }
+  std::string out;
+  const std::size_t record_bytes =
+      version == kSnapshotVersionV1 ? kRecordBytesV1 : kRecordBytesV2;
+  out.reserve(kHeaderBytes + (version >= kSnapshotVersion ? kCountersBytes : 0) +
+              table.size() * record_bytes);
+
+  out.append(kMagic, sizeof(kMagic));
+  put_u16(out, version);
+  put_u16(out, 0);  // flags, reserved
+  put_u64(out, sequence);
+  put_u32(out, static_cast<std::uint32_t>(table.size()));
+  put_u32(out, crc32(out.data(), out.size()));
+
+  if (version >= kSnapshotVersion) {
+    const std::size_t block_start = out.size();
+    put_u64(out, counters.polls);
+    put_u64(out, counters.connections_observed);
+    put_u64(out, counters.destinations_updated);
+    put_u64(out, counters.routes_set);
+    put_u64(out, counters.routes_expired);
+    put_u32(out, crc32(out.data() + block_start, out.size() - block_start));
+  }
+
+  for (const auto& [prefix, state] : table.entries()) {
+    append_record(out, prefix, state, version);
+  }
+  return out;
+}
+
+DecodeResult decode_snapshot(std::string_view bytes) {
+  DecodeResult result;
+
+  // Header: any damage here rejects the snapshot — without a trusted
+  // version and framing there is nothing safe to salvage.
+  if (bytes.size() < kHeaderBytes) return result;
+  if (std::string_view(bytes.data(), 4) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    return result;
+  }
+  if (get_u32(bytes, kHeaderBytes - 4) !=
+      crc32(bytes.data(), kHeaderBytes - 4)) {
+    return result;
+  }
+  const std::uint16_t version = get_u16(bytes, 4);
+  if (version != kSnapshotVersionV1 && version != kSnapshotVersion) {
+    return result;
+  }
+  result.valid = true;
+  result.stats.version = version;
+  result.sequence = get_u64(bytes, 8);
+
+  std::size_t at = kHeaderBytes;
+  if (version >= kSnapshotVersion) {
+    if (bytes.size() < at + kCountersBytes) {
+      // Snapshot torn inside the counter block: table records never made
+      // it to storage, so there is nothing further to recover.
+      result.stats.truncated_tail = true;
+      return result;
+    }
+    if (get_u32(bytes, at + kCountersBytes - 4) ==
+        crc32(bytes.data() + at, kCountersBytes - 4)) {
+      result.counters.polls = get_u64(bytes, at);
+      result.counters.connections_observed = get_u64(bytes, at + 8);
+      result.counters.destinations_updated = get_u64(bytes, at + 16);
+      result.counters.routes_set = get_u64(bytes, at + 24);
+      result.counters.routes_expired = get_u64(bytes, at + 32);
+    } else {
+      // Damaged counters don't poison the table: zeroed counters are
+      // merely a monitoring discontinuity.
+      result.stats.counters_corrupt = true;
+    }
+    at += kCountersBytes;
+  }
+
+  const std::size_t record_bytes =
+      version == kSnapshotVersionV1 ? kRecordBytesV1 : kRecordBytesV2;
+  while (at < bytes.size()) {
+    if (bytes.size() - at < record_bytes) {
+      result.stats.truncated_tail = true;
+      break;
+    }
+    const std::string_view body(bytes.data() + at, record_bytes - 4);
+    const std::uint32_t stored_crc = get_u32(bytes, at + record_bytes - 4);
+    at += record_bytes;
+    if (stored_crc != crc32(body)) {
+      ++result.stats.records_corrupt;
+      continue;
+    }
+    const std::uint32_t address = get_u32(body, 0);
+    const int length = static_cast<unsigned char>(body[4]);
+    const double window = std::bit_cast<double>(get_u64(body, 5));
+    const auto last_updated =
+        sim::Time::nanoseconds(static_cast<std::int64_t>(get_u64(body, 13)));
+    const std::uint64_t updates =
+        version >= kSnapshotVersion ? get_u64(body, 21) : 0;
+    // Semantic validation past the CRC (defense against a checksum that
+    // happens to cover garbage): mask length in range, address already
+    // canonical for it, a finite non-negative window.
+    if (length > 32 || !std::isfinite(window) || window < 0.0) {
+      ++result.stats.records_corrupt;
+      continue;
+    }
+    const net::Prefix prefix(net::Ipv4Address(address), length);
+    if (prefix.address().value() != address) {
+      ++result.stats.records_corrupt;
+      continue;
+    }
+    if (result.table.contains(prefix)) {
+      ++result.stats.records_duplicate;
+      continue;
+    }
+    result.table.put(prefix, {window, last_updated, updates});
+    ++result.stats.records_ok;
+  }
+  return result;
+}
+
+}  // namespace riptide::persist

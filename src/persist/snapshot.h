@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/observed_table.h"
+
+namespace riptide::persist {
+
+// Versioned, CRC32-checksummed wire format for the agent's learned state,
+// so a restarted agent resumes from its last checkpoint instead of paying
+// the full cold-start penalty Riptide exists to remove.
+//
+// Byte layout (all integers little-endian; doubles as IEEE-754 bit
+// patterns — the encoding of a given table is byte-stable across
+// platforms because ObservedTable iterates in a fixed total order):
+//
+//   header (24 bytes)
+//     magic      "RSNP"                                    4
+//     version    u16  (1 or 2; see below)                  2
+//     flags      u16  (reserved, 0)                        2
+//     sequence   u64  (checkpoint counter)                 8
+//     count      u32  (records that follow)                4
+//     crc        u32  CRC32 of the 20 bytes above          4
+//   counters (v2 only, 44 bytes)
+//     polls, connections_observed, destinations_updated,
+//     routes_set, routes_expired                           5 x u64
+//     crc        u32  CRC32 of the 40 bytes above          4
+//   record x count (v2: 33 bytes, v1: 25 bytes)
+//     address    u32  (canonical prefix address)           4
+//     length     u8   (mask length, 0..32)                 1
+//     window     u64  (double bits of final window)        8
+//     last_upd   i64  (sim-time ns)                        8
+//     updates    u64  (v2 only)                            8
+//     crc        u32  CRC32 of the record body             4
+//
+// Decode is forgiving where it can afford to be and strict where it
+// cannot: a damaged header (or an unknown version) rejects the snapshot
+// outright; a damaged or semantically invalid record is counted and
+// skipped (fixed-size framing means one flipped bit never desyncs the
+// rest); a partial record at the end — the torn tail of an interrupted
+// write — is counted and discarded. Whatever records survive are exactly
+// the bytes that were written: every accepted record passed its CRC.
+inline constexpr std::uint16_t kSnapshotVersionV1 = 1;
+inline constexpr std::uint16_t kSnapshotVersion = 2;
+
+// Agent counters carried alongside the table so monitoring stays
+// continuous across process generations. Version-1 snapshots predate the
+// block and decode with all counters zero.
+struct SnapshotCounters {
+  std::uint64_t polls = 0;
+  std::uint64_t connections_observed = 0;
+  std::uint64_t destinations_updated = 0;
+  std::uint64_t routes_set = 0;
+  std::uint64_t routes_expired = 0;
+
+  friend bool operator==(const SnapshotCounters&,
+                         const SnapshotCounters&) = default;
+};
+
+struct DecodeStats {
+  std::uint16_t version = 0;
+  std::size_t records_ok = 0;
+  std::size_t records_corrupt = 0;    // CRC or field validation failed
+  std::size_t records_duplicate = 0;  // prefix seen twice; first kept
+  bool truncated_tail = false;        // partial record at the end
+  bool counters_corrupt = false;      // v2 counter block failed its CRC
+};
+
+struct DecodeResult {
+  bool valid = false;  // header intact and version understood
+  core::ObservedTable table;
+  SnapshotCounters counters;
+  std::uint64_t sequence = 0;
+  DecodeStats stats;
+};
+
+// Encodes `table` + `counters` at the given schema version (1 omits the
+// counter block and per-record update counts; useful for version-skew
+// tests). Throws std::invalid_argument for an unsupported version.
+std::string encode_snapshot(const core::ObservedTable& table,
+                            const SnapshotCounters& counters,
+                            std::uint64_t sequence,
+                            std::uint16_t version = kSnapshotVersion);
+
+// Never throws on malformed input: arbitrary bytes produce either a
+// rejected result (valid == false) or a table assembled from the records
+// that verified, with the damage itemized in `stats`.
+DecodeResult decode_snapshot(std::string_view bytes);
+
+}  // namespace riptide::persist

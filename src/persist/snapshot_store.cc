@@ -1,0 +1,145 @@
+#include "persist/snapshot_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+namespace riptide::persist {
+
+namespace {
+
+bool flip_bit(std::string& bytes, std::size_t byte_offset) {
+  if (bytes.empty()) return false;
+  const std::size_t at = byte_offset % bytes.size();
+  bytes[at] = static_cast<char>(static_cast<unsigned char>(bytes[at]) ^
+                                (1u << (byte_offset % 8)));
+  return true;
+}
+
+}  // namespace
+
+void MemorySnapshotStore::save(const std::string& bytes) {
+  newest_first_.push_front(bytes);
+  while (newest_first_.size() > keep_) newest_first_.pop_back();
+  ++saves_;
+}
+
+std::vector<std::string> MemorySnapshotStore::load_newest_first() const {
+  return {newest_first_.begin(), newest_first_.end()};
+}
+
+bool MemorySnapshotStore::corrupt_newest(std::size_t byte_offset) {
+  if (newest_first_.empty()) return false;
+  return flip_bit(newest_first_.front(), byte_offset);
+}
+
+FileSnapshotStore::FileSnapshotStore(std::filesystem::path directory,
+                                     std::string basename, std::size_t keep)
+    : directory_(std::move(directory)),
+      basename_(std::move(basename)),
+      keep_(keep) {
+  std::filesystem::create_directories(directory_);
+  // Resume the sequence past any snapshots a previous generation left
+  // behind so rotation never reuses (and clobbers) a live name.
+  for (const auto& [sequence, path] : list()) {
+    next_sequence_ = std::max(next_sequence_, sequence + 1);
+  }
+}
+
+void FileSnapshotStore::save(const std::string& bytes) {
+  const std::uint64_t sequence = next_sequence_++;
+  const auto final_path =
+      directory_ / (basename_ + "." + std::to_string(sequence));
+  const auto temp_path =
+      directory_ / (basename_ + "." + std::to_string(sequence) + ".tmp");
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ignored;
+      std::filesystem::remove(temp_path, ignored);
+      return;
+    }
+  }
+  // rename() within a directory is atomic: readers see the old set of
+  // snapshots or the new one, never a partially written file.
+  std::error_code ec;
+  std::filesystem::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(temp_path, ec);
+    return;
+  }
+  ++saves_;
+
+  auto retained = list();
+  for (std::size_t i = keep_; i < retained.size(); ++i) {
+    std::error_code ignored;
+    std::filesystem::remove(retained[i].second, ignored);
+  }
+  // Sweep temp files orphaned by an interrupted earlier save.
+  std::error_code iter_ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, iter_ec)) {
+    const auto name = entry.path().filename().string();
+    if (name != temp_path.filename().string() &&
+        name.starts_with(basename_ + ".") && name.ends_with(".tmp")) {
+      std::error_code ignored;
+      std::filesystem::remove(entry.path(), ignored);
+    }
+  }
+}
+
+std::vector<std::string> FileSnapshotStore::load_newest_first() const {
+  std::vector<std::string> snapshots;
+  for (const auto& [sequence, path] : list()) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    if (in.bad()) continue;
+    snapshots.push_back(std::move(bytes));
+  }
+  return snapshots;
+}
+
+bool FileSnapshotStore::corrupt_newest(std::size_t byte_offset) {
+  const auto retained = list();
+  if (retained.empty()) return false;
+  const auto& path = retained.front().second;
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  if (!flip_bit(bytes, byte_offset)) return false;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+std::vector<std::pair<std::uint64_t, std::filesystem::path>>
+FileSnapshotStore::list() const {
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> retained;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory_, ec)) {
+    const auto name = entry.path().filename().string();
+    const std::string stem = basename_ + ".";
+    if (!name.starts_with(stem) || name.ends_with(".tmp")) continue;
+    const std::string suffix = name.substr(stem.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    retained.emplace_back(std::stoull(suffix), entry.path());
+  }
+  std::sort(retained.begin(), retained.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return retained;
+}
+
+}  // namespace riptide::persist

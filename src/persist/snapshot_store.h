@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace riptide::persist {
+
+// Where encoded snapshots live between process generations. Stores retain
+// the newest `keep` snapshots so a checkpoint torn or corrupted mid-write
+// never destroys the previous good one — restore walks newest-first and
+// takes the first snapshot that decodes.
+class SnapshotStore {
+ public:
+  virtual ~SnapshotStore() = default;
+
+  // Durably retains one encoded snapshot. Atomic: a reader (or a crash)
+  // never observes a partial write.
+  virtual void save(const std::string& bytes) = 0;
+
+  // All retained snapshots, newest first.
+  virtual std::vector<std::string> load_newest_first() const = 0;
+
+  // Fault-injection hook: flips one bit of the newest retained snapshot
+  // (bit `byte_offset % 8` of byte `byte_offset % size`). Returns false
+  // when there is nothing to corrupt. Exists so crash/corruption drills
+  // exercise the decoder's recovery paths against real stored bytes.
+  virtual bool corrupt_newest(std::size_t byte_offset) = 0;
+
+  virtual std::uint64_t saves() const = 0;
+};
+
+// In-memory store for simulations: "durable" relative to the simulated
+// agent process (it outlives crash()/start() cycles because the harness
+// owns it), with none of the filesystem nondeterminism a sweep of
+// parallel experiment workers must avoid.
+class MemorySnapshotStore : public SnapshotStore {
+ public:
+  explicit MemorySnapshotStore(std::size_t keep = 2) : keep_(keep) {}
+
+  void save(const std::string& bytes) override;
+  std::vector<std::string> load_newest_first() const override;
+  bool corrupt_newest(std::size_t byte_offset) override;
+  std::uint64_t saves() const override { return saves_; }
+
+ private:
+  std::size_t keep_;
+  std::deque<std::string> newest_first_;
+  std::uint64_t saves_ = 0;
+};
+
+// File-backed store: snapshots land as `<basename>.<seq>` in `directory`
+// via temp-then-rename, so the visible file is always complete. Rotation
+// keeps the newest `keep` sequence numbers and deletes the rest; stray
+// temp files from interrupted writes are ignored by load and cleaned up
+// opportunistically by the next save.
+class FileSnapshotStore : public SnapshotStore {
+ public:
+  explicit FileSnapshotStore(std::filesystem::path directory,
+                             std::string basename = "riptide.snap",
+                             std::size_t keep = 2);
+
+  void save(const std::string& bytes) override;
+  std::vector<std::string> load_newest_first() const override;
+  bool corrupt_newest(std::size_t byte_offset) override;
+  std::uint64_t saves() const override { return saves_; }
+
+  const std::filesystem::path& directory() const { return directory_; }
+
+ private:
+  // Retained snapshot files as (sequence, path), newest first.
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> list() const;
+
+  std::filesystem::path directory_;
+  std::string basename_;
+  std::size_t keep_;
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t saves_ = 0;
+};
+
+}  // namespace riptide::persist

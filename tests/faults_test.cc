@@ -769,5 +769,121 @@ TEST(FaultHarnessTest, CrashPlanRestartsAgentsInsideExperiment) {
             experiment.agents().size());
 }
 
+// ------------------------------------- durable-state faults (PR: persist)
+
+TEST(FaultPlanTest, ParsesDurableStateEvents) {
+  const auto plan = FaultPlan::parse(
+      "@10 crash -1 5 reboot-warm; @11 crash 0 5 reboot-cold; "
+      "@12 snap-corrupt -1 13; @13 route-drift 0 0.5 0.25");
+  ASSERT_EQ(plan.size(), 4u);
+  const auto& warm = plan.events()[0];
+  EXPECT_EQ(warm.kind, FaultKind::kAgentCrash);
+  EXPECT_TRUE(warm.warm);
+  EXPECT_TRUE(warm.flush_routes);
+  const auto& cold = plan.events()[1];
+  EXPECT_FALSE(cold.warm);
+  EXPECT_TRUE(cold.flush_routes);
+  EXPECT_EQ(cold.host_index, 0);
+  const auto& corrupt = plan.events()[2];
+  EXPECT_EQ(corrupt.kind, FaultKind::kSnapshotCorrupt);
+  EXPECT_EQ(corrupt.host_index, -1);
+  EXPECT_DOUBLE_EQ(corrupt.value, 13.0);
+  const auto& drift = plan.events()[3];
+  EXPECT_EQ(drift.kind, FaultKind::kRouteDrift);
+  EXPECT_DOUBLE_EQ(drift.value, 0.5);
+  EXPECT_DOUBLE_EQ(drift.value2, 0.25);
+}
+
+TEST(FaultPlanTest, RejectsMalformedDurableStateSpecs) {
+  EXPECT_THROW(FaultPlan::parse("@5 crash -1 5 tepid"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("@5 snap-corrupt -1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("@5 snap-corrupt -1 -3"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("@5 route-drift -1 0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("@5 route-drift -1 1.5 0.2"),
+               std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, RouteDriftFractionsValidatedAtArmTime) {
+  sim::Simulator sim;
+  cdn::Topology topo(sim, small_topology_config(), small_pops(2));
+  FaultPlan plan;
+  // The builder is not the only producer of events; arm() re-validates.
+  plan.route_drift(Time::seconds(1), -1, 0.5, 2.0);
+  faults::FaultInjector injector(sim, topo, plan);
+  EXPECT_THROW(injector.arm(), std::invalid_argument);
+}
+
+// Reboot-warm: the crash flushes learned routes (host reboot, not process
+// death), and the restart restores the checkpointed table AND reprograms
+// the routes before the first poll — the jump-start the paper is about.
+TEST(FaultHarnessTest, RebootWarmRestoresRoutesFromCheckpoints) {
+  auto config = harness_world(5);
+  config.duration = Time::seconds(40);
+  config.riptide.checkpoint_interval = Time::seconds(2);
+  faults::FaultHarness::install(config,
+                                FaultPlan::parse("@20 crash -1 5 reboot-warm"));
+  cdn::Experiment experiment(config);
+  experiment.run();
+
+  auto* harness = faults::FaultHarness::from(experiment);
+  ASSERT_NE(harness, nullptr);
+  EXPECT_GT(harness->injector().stats().routes_flushed, 0u);
+  const auto persist = harness->checkpointer_totals();
+  EXPECT_GT(persist.checkpoints_written, 0u);
+  EXPECT_EQ(persist.restores, experiment.agents().size());
+  EXPECT_GT(persist.records_recovered, 0u);
+  for (const auto& agent : experiment.agents()) {
+    EXPECT_TRUE(agent->running());
+    EXPECT_EQ(agent->stats().crashes, 1u);
+    // The restored table is live, not just in memory: routes exist again.
+    EXPECT_GT(agent->host().routing_table().learned_routes().size(), 0u);
+  }
+}
+
+// Reboot-cold inside the same world: no checkpointer, so the flush leaves
+// the restarted agent to re-learn from scratch (adoption finds nothing).
+TEST(FaultHarnessTest, RebootColdRelearnsWithoutAdoption) {
+  auto config = harness_world(5);
+  config.duration = Time::seconds(40);
+  faults::FaultHarness::install(config,
+                                FaultPlan::parse("@20 crash -1 5 reboot-cold"));
+  cdn::Experiment experiment(config);
+  experiment.run();
+
+  auto* harness = faults::FaultHarness::from(experiment);
+  EXPECT_GT(harness->injector().stats().routes_flushed, 0u);
+  EXPECT_EQ(harness->checkpointer_totals().checkpoints_written, 0u);
+  for (const auto& agent : experiment.agents()) {
+    EXPECT_TRUE(agent->running());
+    EXPECT_EQ(agent->stats().routes_adopted, 0u);  // flush left nothing
+  }
+}
+
+// Corrupting the newest snapshot before a reboot-warm restart must fall
+// back to the previous generation — never crash, hang, or restore wrong
+// bytes.
+TEST(FaultHarnessTest, SnapshotCorruptionFallsBackToOlderGeneration) {
+  auto config = harness_world(5);
+  config.duration = Time::seconds(40);
+  config.riptide.checkpoint_interval = Time::seconds(2);
+  faults::FaultHarness::install(
+      config,
+      FaultPlan::parse("@19 snap-corrupt -1 13; @20 crash -1 5 reboot-warm"));
+  cdn::Experiment experiment(config);
+  experiment.run();
+
+  auto* harness = faults::FaultHarness::from(experiment);
+  EXPECT_EQ(harness->injector().stats().snapshots_corrupted,
+            experiment.agents().size());
+  const auto persist = harness->checkpointer_totals();
+  EXPECT_EQ(persist.snapshots_rejected, experiment.agents().size());
+  EXPECT_EQ(persist.restores, experiment.agents().size());
+  for (const auto& agent : experiment.agents()) {
+    EXPECT_TRUE(agent->running());
+  }
+}
+
 }  // namespace
 }  // namespace riptide

@@ -1,0 +1,281 @@
+// Safety governor and route reconciliation: the pure decision logic
+// (budget scaling, hysteresis, rollback gating, cooldown state machine),
+// the agent-level behaviors they drive, reconciliation of externally
+// deleted/mangled/orphaned routes, and the end-to-end emergency-rollback
+// scenario inside a full experiment.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "cdn/experiment.h"
+#include "cdn/pops.h"
+#include "core/agent.h"
+#include "core/governor.h"
+#include "faults/fault_plan.h"
+#include "faults/harness.h"
+#include "host/routing_table.h"
+#include "net/ipv4.h"
+#include "sim/time.h"
+#include "test_util.h"
+
+namespace riptide {
+namespace {
+
+using core::GovernorConfig;
+using core::SafetyGovernor;
+using sim::Time;
+using test::TwoHostNet;
+
+// ---------------------------------------------------- pure decision logic
+
+TEST(SafetyGovernorTest, ZeroKnobsAreTheIdentityDecisions) {
+  SafetyGovernor governor;  // every knob at its default
+  EXPECT_FALSE(governor.rollback_enabled());
+  EXPECT_DOUBLE_EQ(governor.budget_scale(1e9), 1.0);
+  EXPECT_FALSE(governor.within_hysteresis(40, 40));  // equal is reprogrammed
+  EXPECT_FALSE(governor.should_rollback(1000, 1000, Time::zero()));
+}
+
+TEST(SafetyGovernorTest, BudgetScaleCapsOnlyWhenOverCommitted) {
+  SafetyGovernor governor(GovernorConfig{.budget_segments = 100});
+  EXPECT_DOUBLE_EQ(governor.budget_scale(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(governor.budget_scale(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(governor.budget_scale(200.0), 0.5);
+  EXPECT_DOUBLE_EQ(governor.budget_scale(400.0), 0.25);
+}
+
+TEST(SafetyGovernorTest, HysteresisBandsSmallDeltas) {
+  SafetyGovernor governor(GovernorConfig{.hysteresis_segments = 3});
+  EXPECT_TRUE(governor.within_hysteresis(40, 40));
+  EXPECT_TRUE(governor.within_hysteresis(40, 43));
+  EXPECT_TRUE(governor.within_hysteresis(40, 37));
+  EXPECT_FALSE(governor.within_hysteresis(40, 44));
+  EXPECT_FALSE(governor.within_hysteresis(40, 36));
+}
+
+TEST(SafetyGovernorTest, RollbackRequiresVolumeAndRate) {
+  SafetyGovernor governor(GovernorConfig{.rollback_retrans_fraction = 0.1,
+                                         .min_packets = 100});
+  EXPECT_TRUE(governor.rollback_enabled());
+  // Too few packets to judge, whatever the rate.
+  EXPECT_FALSE(governor.should_rollback(50, 50, Time::zero()));
+  // Enough volume, rate under threshold.
+  EXPECT_FALSE(governor.should_rollback(9, 100, Time::zero()));
+  // Enough volume, rate at/over threshold.
+  EXPECT_TRUE(governor.should_rollback(10, 100, Time::zero()));
+}
+
+TEST(SafetyGovernorTest, CooldownSuppressesRollbackUntilItElapses) {
+  SafetyGovernor governor(GovernorConfig{.rollback_retrans_fraction = 0.1,
+                                         .min_packets = 100,
+                                         .cooldown = Time::seconds(10)});
+  ASSERT_TRUE(governor.should_rollback(50, 100, Time::seconds(1)));
+  governor.arm_cooldown(Time::seconds(1));
+  EXPECT_TRUE(governor.in_cooldown(Time::seconds(5)));
+  EXPECT_FALSE(governor.should_rollback(50, 100, Time::seconds(5)));
+  // Deadline passed: the kCooldown -> kNormal transition happens on the
+  // in_cooldown() probe and rollback is live again.
+  EXPECT_FALSE(governor.in_cooldown(Time::seconds(11) + Time::nanoseconds(1)));
+  EXPECT_TRUE(governor.should_rollback(50, 100, Time::seconds(12)));
+}
+
+// ----------------------------------------------------- agent-level knobs
+
+core::RiptideConfig agent_config() {
+  core::RiptideConfig config;
+  config.alpha = 0.0;
+  config.c_max = 100;
+  config.c_min = 10;
+  return config;
+}
+
+// Establishes a data-carrying connection a -> b and grows a's cwnd.
+void push_data(TwoHostNet& net, std::uint64_t bytes) {
+  net.b.listen(9900, [](tcp::TcpConnection& conn) {
+    tcp::TcpConnection::Callbacks cbs;
+    conn.set_callbacks(std::move(cbs));
+  });
+  tcp::TcpConnection::Callbacks cbs;
+  auto& conn = net.a.connect(net.b.address(), 9900, std::move(cbs));
+  net.sim.run_until(net.sim.now() + Time::milliseconds(100));
+  conn.send(bytes);
+  net.sim.run_until(net.sim.now() + Time::seconds(5));
+}
+
+TEST(AgentGovernorTest, BudgetScalesTheInstalledWindow) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  core::RiptideAgent plain(net.sim, net.a, config);
+  push_data(net, 500'000);
+  plain.poll_once();
+  const auto unscaled =
+      net.a.routing_table().effective_initcwnd(net.b.address(), 10);
+  ASSERT_GT(unscaled, 10u);
+
+  // Same observations, but the host-wide budget only admits half.
+  config.governor_budget_segments = unscaled / 2;
+  core::RiptideAgent capped(net.sim, net.a, config);
+  capped.poll_once();
+  const auto scaled =
+      net.a.routing_table().effective_initcwnd(net.b.address(), 10);
+  EXPECT_LE(scaled, config.governor_budget_segments + 1);
+  EXPECT_LT(scaled, unscaled);
+  EXPECT_EQ(capped.stats().governor_budget_scaledowns, 1u);
+  // The learned table keeps the unscaled value: the budget caps what is
+  // installed, not what is known.
+  const auto key = net::Prefix::host(net.b.address());
+  ASSERT_NE(capped.learned(key), nullptr);
+  EXPECT_DOUBLE_EQ(capped.learned(key)->final_window_segments,
+                   static_cast<double>(unscaled));
+}
+
+TEST(AgentGovernorTest, HysteresisSkipsChurnButNotTheFirstProgram) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.governor_hysteresis_segments = 50;  // wide: any repeat is churn
+  core::RiptideAgent agent(net.sim, net.a, config);
+  push_data(net, 500'000);
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().governor_hysteresis_skips, 0u);
+  const auto routes_set = agent.stats().routes_set;
+  ASSERT_GT(routes_set, 0u);
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().governor_hysteresis_skips, 1u);
+  EXPECT_EQ(agent.stats().routes_set, routes_set);  // no reprogram churn
+}
+
+// ---------------------------------------------------- route reconciliation
+
+TEST(AgentReconcileTest, RepairsExternallyDeletedRoute) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.reconcile_routes = true;
+  core::RiptideAgent agent(net.sim, net.a, config);
+  push_data(net, 500'000);
+  agent.poll_once();
+  const auto key = net::Prefix::host(net.b.address());
+  const auto installed =
+      net.a.routing_table().effective_initcwnd(net.b.address(), 10);
+  ASSERT_GT(installed, 10u);
+
+  // Outside actor: `ip route del`.
+  ASSERT_TRUE(net.a.routing_table().remove(key));
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().reconcile_repaired, 1u);
+  EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            installed);
+}
+
+TEST(AgentReconcileTest, RepairsExternallyMangledRoute) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.reconcile_routes = true;
+  core::RiptideAgent agent(net.sim, net.a, config);
+  push_data(net, 500'000);
+  agent.poll_once();
+  const auto key = net::Prefix::host(net.b.address());
+  const auto* live = net.a.routing_table().find_route(key);
+  ASSERT_NE(live, nullptr);
+  const auto wanted = live->metrics;
+  ASSERT_GT(wanted.initcwnd_segments, 1u);
+
+  // Outside actor: `ip route replace` with a fat-fingered window.
+  net.a.routing_table().add_or_replace(
+      key, *live->device, host::RouteMetrics{1, wanted.initrwnd_segments});
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().reconcile_conflicting, 1u);
+  EXPECT_GE(agent.stats().reconcile_repaired, 1u);
+  const auto* repaired = net.a.routing_table().find_route(key);
+  ASSERT_NE(repaired, nullptr);
+  EXPECT_EQ(repaired->metrics, wanted);
+}
+
+TEST(AgentReconcileTest, WithdrawsLearnedLookingOrphan) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.reconcile_routes = true;
+  core::RiptideAgent agent(net.sim, net.a, config);
+  push_data(net, 500'000);
+  agent.poll_once();
+  const auto* owned =
+      net.a.routing_table().find_route(net::Prefix::host(net.b.address()));
+  ASSERT_NE(owned, nullptr);
+
+  // A leftover from some dead process: learned-looking, owned by nobody.
+  const auto orphan = net::Prefix::host(net::Ipv4Address(10, 0, 0, 99));
+  net.a.routing_table().add_or_replace(orphan, *owned->device,
+                                       host::RouteMetrics{55, 0});
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().reconcile_orphaned, 1u);
+  EXPECT_EQ(net.a.routing_table().find_route(orphan), nullptr);
+}
+
+TEST(AgentReconcileTest, KnobOffLeavesDriftAlone) {
+  TwoHostNet net(Time::milliseconds(20));
+  core::RiptideAgent agent(net.sim, net.a, agent_config());
+  push_data(net, 500'000);
+  agent.poll_once();
+  const auto* owned =
+      net.a.routing_table().find_route(net::Prefix::host(net.b.address()));
+  ASSERT_NE(owned, nullptr);
+  const auto orphan = net::Prefix::host(net::Ipv4Address(10, 0, 0, 99));
+  net.a.routing_table().add_or_replace(orphan, *owned->device,
+                                       host::RouteMetrics{55, 0});
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().reconcile_orphaned, 0u);
+  EXPECT_NE(net.a.routing_table().find_route(orphan), nullptr);
+}
+
+TEST(AgentGovernorTest, RejectsOutOfRangeRollbackFraction) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.governor_rollback_retrans_fraction = 1.5;
+  EXPECT_THROW(core::RiptideAgent(net.sim, net.a, config),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------- emergency rollback (e2e)
+
+TEST(GovernorRollbackTest, LossStormRollsBackCoolsDownAndRelearns) {
+  cdn::ExperimentConfig config;
+  auto pops = cdn::default_pop_specs();
+  pops.resize(3);
+  config.pop_specs = std::move(pops);
+  config.topology.hosts_per_pop = 1;
+  config.riptide_enabled = true;
+  config.riptide.update_interval = Time::seconds(1);
+  config.probe.interval = Time::seconds(2);
+  config.duration = Time::seconds(90);
+  config.seed = 11;
+  config.riptide.governor_rollback_retrans_fraction = 0.05;
+  config.riptide.governor_min_packets = 50;
+  config.riptide.governor_cooldown = Time::seconds(10);
+  faults::FaultHarness::install(
+      config, faults::FaultPlan::parse("@30 loss 0-1 0.3 15"));
+
+  cdn::Experiment experiment(config);
+  experiment.run();
+
+  core::AgentStats totals;
+  std::size_t learned_at_end = 0;
+  for (const auto& agent : experiment.agents()) {
+    const auto& s = agent->stats();
+    totals.governor_rollbacks += s.governor_rollbacks;
+    totals.governor_routes_rolled_back += s.governor_routes_rolled_back;
+    totals.governor_cooldown_polls += s.governor_cooldown_polls;
+    learned_at_end += agent->table().size();
+    EXPECT_TRUE(agent->running());
+  }
+  // The storm tripped at least one agent's rollback...
+  EXPECT_GE(totals.governor_rollbacks, 1u);
+  EXPECT_GT(totals.governor_routes_rolled_back, 0u);
+  // ...which then sat out its cooldown...
+  EXPECT_GT(totals.governor_cooldown_polls, 0u);
+  // ...and re-learned from live traffic once the storm passed.
+  EXPECT_GT(learned_at_end, 0u);
+}
+
+}  // namespace
+}  // namespace riptide

@@ -37,6 +37,13 @@ echo "==== chaos suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L chaos --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The persist label (snapshot codec, stores, checkpointer, governor,
+# reconciliation) likewise re-runs under the sanitizers: the decoder
+# walks attacker-shaped bytes and must never read past them.
+echo "==== persist suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L persist --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
 
