@@ -466,11 +466,37 @@ void RiptideAgent::poll_once() {
         config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
     if (const auto it = installed_.find(destination);
         it != installed_.end() &&
-        governor_.within_hysteresis(it->second.initcwnd_segments, initcwnd)) {
+        governor_.within_hysteresis(it->second.initcwnd_segments, initcwnd) &&
+        !(scale < 1.0 && initcwnd < it->second.initcwnd_segments)) {
       ++stats_.governor_hysteresis_skips;
       continue;
     }
     program_route(destination, initcwnd, initrwnd);
+  }
+
+  // The budget is host-wide: routes installed by earlier polls, whose
+  // destinations saw no fresh samples this poll, must shrink too — the
+  // decisions loop above never visits them, so without this sweep the
+  // installed sum can stay over budget indefinitely. Shrinking to budget
+  // is a safety action, not churn, so hysteresis does not apply. Collect
+  // first: program_route mutates installed_.
+  if (scale < 1.0) {
+    std::vector<std::pair<net::Prefix, std::uint32_t>> shrink;
+    for (const auto& [destination, metrics] : installed_) {
+      const DestinationState* state = table_.find(destination);
+      if (state == nullptr) continue;  // expiry below withdraws it
+      const auto target = std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(
+                 std::lround(state->final_window_segments * scale)));
+      if (metrics.initcwnd_segments > target) {
+        shrink.emplace_back(destination, target);
+      }
+    }
+    for (const auto& [destination, initcwnd] : shrink) {
+      const std::uint32_t initrwnd =
+          config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+      program_route(destination, initcwnd, initrwnd);
+    }
   }
 
   // §V hardening: destinations retransmitting heavily under a learned

@@ -1,0 +1,52 @@
+#include "core/governor.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace riptide::core {
+
+bool SafetyGovernor::should_rollback(std::uint64_t retrans_delta,
+                                     std::uint64_t packets_delta,
+                                     sim::Time now) {
+  if (!rollback_enabled()) return false;
+  if (in_cooldown(now)) return false;
+  if (packets_delta < config_.min_packets) return false;
+  return static_cast<double>(retrans_delta) >=
+         config_.rollback_retrans_fraction *
+             static_cast<double>(packets_delta);
+}
+
+void SafetyGovernor::arm_cooldown(sim::Time now) {
+  state_ = State::kCooldown;
+  cooldown_until_ = now + config_.cooldown;
+}
+
+bool SafetyGovernor::in_cooldown(sim::Time now) {
+  if (state_ != State::kCooldown) return false;
+  if (now >= cooldown_until_) {
+    state_ = State::kNormal;
+    return false;
+  }
+  return true;
+}
+
+double SafetyGovernor::budget_scale(double total_desired_segments) const {
+  if (config_.budget_segments == 0) return 1.0;
+  if (total_desired_segments <=
+      static_cast<double>(config_.budget_segments)) {
+    return 1.0;
+  }
+  return static_cast<double>(config_.budget_segments) /
+         total_desired_segments;
+}
+
+bool SafetyGovernor::within_hysteresis(std::uint32_t installed_segments,
+                                       std::uint32_t desired_segments) const {
+  if (config_.hysteresis_segments == 0) return false;
+  const std::uint32_t delta = installed_segments > desired_segments
+                                  ? installed_segments - desired_segments
+                                  : desired_segments - installed_segments;
+  return delta <= config_.hysteresis_segments;
+}
+
+}  // namespace riptide::core

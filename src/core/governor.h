@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace riptide::core {
+
+struct GovernorConfig {
+  std::uint32_t budget_segments = 0;      // 0 = unlimited
+  std::uint32_t hysteresis_segments = 0;  // 0 = no damping
+  double rollback_retrans_fraction = 0.0;  // 0 = rollback disabled
+  std::uint64_t min_packets = 100;
+  sim::Time cooldown = sim::Time::seconds(30);
+};
+
+// Host-wide safety valve over the agent's aggressiveness, pure decision
+// logic with no side effects: the agent asks it three questions each poll
+// (scale? skip? roll back?) and performs the actions itself. Keeping the
+// policy side-effect-free makes the state machine directly testable.
+//
+// State machine:
+//
+//   kNormal --(retrans rate over threshold)--> kCooldown
+//     the agent withdraws every learned route on this edge
+//   kCooldown --(cooldown elapsed)--> kNormal
+//     polling resumes; the table re-learns from live traffic
+//
+// Every knob at its zero default makes each method the identity decision
+// (scale 1.0, never skip, never roll back), which is what keeps a
+// governor-off run bit-identical to an agent without one.
+class SafetyGovernor {
+ public:
+  SafetyGovernor() = default;
+  explicit SafetyGovernor(GovernorConfig config) : config_(config) {}
+
+  bool rollback_enabled() const {
+    return config_.rollback_retrans_fraction > 0.0;
+  }
+
+  // Should the agent withdraw everything right now? True when rollback is
+  // enabled, we are not already cooling down, at least `min_packets` were
+  // sent since the previous poll, and the retransmit fraction of that
+  // window crossed the threshold.
+  bool should_rollback(std::uint64_t retrans_delta,
+                       std::uint64_t packets_delta, sim::Time now);
+
+  // Enters kCooldown until now + cooldown (the agent calls this on the
+  // rollback edge).
+  void arm_cooldown(sim::Time now);
+
+  // True while cooling down; performs the kCooldown -> kNormal transition
+  // when the deadline has passed.
+  bool in_cooldown(sim::Time now);
+
+  // Multiplier to apply to every programmed window so the host-wide total
+  // fits the budget: min(1, budget / total_desired). Exactly 1.0 when no
+  // budget is set or the total fits.
+  double budget_scale(double total_desired_segments) const;
+
+  // True when reprogramming `desired` over `installed` is churn the
+  // hysteresis band says to skip. Always false with the knob at 0 — an
+  // equal value is reprogrammed every poll, as the agent always has.
+  bool within_hysteresis(std::uint32_t installed_segments,
+                         std::uint32_t desired_segments) const;
+
+  const GovernorConfig& config() const { return config_; }
+
+ private:
+  enum class State { kNormal, kCooldown };
+
+  GovernorConfig config_;
+  State state_ = State::kNormal;
+  sim::Time cooldown_until_;
+};
+
+}  // namespace riptide::core

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "host/host.h"
+
+namespace riptide::core {
+
+// Thrown by a SocketStatsSource when a poll fails outright (the `ss`
+// process dying, a timeout on the netlink socket). The agent treats this
+// as "no information", never as "no connections".
+class PollError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// The agent's observation surface: one snapshot of the host's open
+// connections per poll. Abstracted so fault injection can make polls fail
+// or return partial snapshots without touching the host, mirroring what a
+// wedged `ss` or a truncated pipe does to the real tool.
+class SocketStatsSource {
+ public:
+  virtual ~SocketStatsSource() = default;
+
+  // Returns the current connection snapshot. Throws PollError on failure;
+  // may legitimately return an incomplete snapshot (the contract `ss`
+  // itself provides under races), which is why the agent's EWMA must be
+  // robust to missing observations.
+  virtual std::vector<host::SocketInfo> poll() = 0;
+};
+
+// Default source: the in-memory `ss` surface of the host.
+class HostSocketStatsSource : public SocketStatsSource {
+ public:
+  explicit HostSocketStatsSource(host::Host& host) : host_(host) {}
+
+  std::vector<host::SocketInfo> poll() override {
+    return host_.socket_stats();
+  }
+
+ private:
+  host::Host& host_;
+};
+
+}  // namespace riptide::core

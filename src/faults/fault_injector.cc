@@ -37,7 +37,8 @@ void FaultInjector::validate(const FaultEvent& ev) const {
             " agents)");
       }
       if (ev.kind == FaultKind::kRouteDrift &&
-          (ev.value > 1.0 || ev.value2 < 0.0 || ev.value2 > 1.0)) {
+          (ev.value < 0.0 || ev.value > 1.0 || ev.value2 < 0.0 ||
+           ev.value2 > 1.0)) {
         throw std::invalid_argument(
             "FaultInjector: route-drift fractions outside [0, 1]");
       }

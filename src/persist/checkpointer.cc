@@ -47,6 +47,16 @@ bool AgentCheckpointer::restore(bool reinstall_routes) {
       ++stats_.snapshots_rejected;
       continue;
     }
+    // A header that decodes over a body where every claimed record failed
+    // its CRC carries no state at all — an older generation with intact
+    // records is the better fallback. Only an honestly empty snapshot
+    // (zero records claimed, nothing corrupt or torn) restores an empty
+    // table.
+    if (decoded.stats.records_ok == 0 &&
+        (decoded.stats.records_corrupt > 0 || decoded.stats.truncated_tail)) {
+      ++stats_.snapshots_rejected;
+      continue;
+    }
     stats_.records_recovered += decoded.stats.records_ok;
     stats_.records_discarded +=
         decoded.stats.records_corrupt + decoded.stats.records_duplicate;

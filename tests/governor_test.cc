@@ -131,6 +131,36 @@ TEST(AgentGovernorTest, BudgetScalesTheInstalledWindow) {
                    static_cast<double>(unscaled));
 }
 
+TEST(AgentGovernorTest, BudgetShrinksRoutesInstalledInEarlierPolls) {
+  TwoHostNet net(Time::milliseconds(20));
+  auto config = agent_config();
+  config.governor_budget_segments = 20;
+  // Wide hysteresis: shrinking to budget is a safety action, not churn,
+  // so the band must not be allowed to block it.
+  config.governor_hysteresis_segments = 50;
+  core::RiptideAgent agent(net.sim, net.a, config);
+
+  // A previous generation learned an over-budget window; the warm restart
+  // reinstalls it verbatim.
+  core::ObservedTable snapshot;
+  snapshot.store_final(net::Prefix::host(net.b.address()), 80.0, Time::zero());
+  agent.restore_table(std::move(snapshot), /*reinstall_routes=*/true);
+  ASSERT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            80u);
+
+  // No fresh samples for the destination: the decisions loop never visits
+  // it, so only the host-wide sweep can bring the install under budget.
+  agent.poll_once();
+  EXPECT_EQ(agent.stats().governor_budget_scaledowns, 1u);
+  EXPECT_EQ(net.a.routing_table().effective_initcwnd(net.b.address(), 10),
+            20u);
+  // The learned value stays unscaled: the budget caps what is installed,
+  // not what is known.
+  const auto* state = agent.learned(net::Prefix::host(net.b.address()));
+  ASSERT_NE(state, nullptr);
+  EXPECT_DOUBLE_EQ(state->final_window_segments, 80.0);
+}
+
 TEST(AgentGovernorTest, HysteresisSkipsChurnButNotTheFirstProgram) {
   TwoHostNet net(Time::milliseconds(20));
   auto config = agent_config();

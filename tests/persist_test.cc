@@ -463,6 +463,31 @@ TEST(AgentCheckpointerTest, RestoreFallsBackPastCorruptedSnapshot) {
   EXPECT_EQ(*agent.learned(key), learned);
 }
 
+TEST(AgentCheckpointerTest, RestoreSkipsSnapshotWithNoSurvivingRecords) {
+  TwoHostNet net(Time::milliseconds(20));
+  core::RiptideAgent agent(net.sim, net.a, checkpoint_agent_config());
+  persist::MemorySnapshotStore store;
+  persist::AgentCheckpointer checkpointer(net.sim, agent, store, {});
+  push_data(net, 500'000);
+  agent.poll_once();
+  const auto key = net::Prefix::host(net.b.address());
+  const auto learned = *agent.learned(key);
+
+  checkpointer.checkpoint_now();  // good generation
+  checkpointer.checkpoint_now();  // newest: header intact...
+  // ...but its only record fails CRC (first record byte: past the 24-byte
+  // header and 44-byte v2 counter block). The decoded table is empty, so
+  // restore must fall through to the older generation instead of
+  // accepting a snapshot that carries no state.
+  ASSERT_TRUE(store.corrupt_newest(24 + 44));
+  agent.crash();
+  ASSERT_TRUE(checkpointer.restore());
+  EXPECT_EQ(checkpointer.stats().snapshots_rejected, 1u);
+  EXPECT_EQ(checkpointer.stats().restores, 1u);
+  ASSERT_NE(agent.learned(key), nullptr);
+  EXPECT_EQ(*agent.learned(key), learned);
+}
+
 TEST(AgentCheckpointerTest, RestoreWithoutSnapshotsReportsFailure) {
   TwoHostNet net(Time::milliseconds(20));
   core::RiptideAgent agent(net.sim, net.a, checkpoint_agent_config());
