@@ -36,6 +36,7 @@
 #include "cdn/experiment.h"
 #include "faults/harness.h"
 #include "runner/parallel_runner.h"
+#include "stats/perf.h"
 #include "runner/sweep.h"
 #include "runner/task_pool.h"
 #include "bench_util.h"
@@ -495,5 +496,11 @@ int main(int argc, char** argv) {
               results.size(),
               runner::effective_threads(opt.base.threads, results.size()),
               sweep_seconds, sum_run_seconds);
+  if (opt.base.json) {
+    perf::Counters perf_totals;
+    for (const auto& result : results) perf_totals.accumulate(result.perf);
+    std::printf("{\"bench\":\"fault_matrix\",\"runs\":%zu,\"perf\":%s}\n",
+                results.size(), perf::to_run_json(perf_totals).c_str());
+  }
   return 0;
 }

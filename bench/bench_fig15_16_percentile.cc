@@ -22,6 +22,7 @@
 
 #include "cdn/experiment.h"
 #include "runner/parallel_runner.h"
+#include "stats/perf.h"
 #include "runner/sweep.h"
 #include "runner/task_pool.h"
 #include "bench_util.h"
@@ -159,9 +160,10 @@ int main(int argc, char** argv) {
     // One line per run (arm + seed) so drop/safety counters stay
     // attributable, then the sweep summary line.
     for (const auto& result : results) {
-      std::printf("{\"bench\":\"fig15_16\",\"run\":\"%s\",%s}\n",
+      std::printf("{\"bench\":\"fig15_16\",\"run\":\"%s\",%s,\"perf\":%s}\n",
                   result.label.c_str(),
-                  bench::safety_counters_json(*result.experiment).c_str());
+                  bench::safety_counters_json(*result.experiment).c_str(),
+                  perf::to_run_json(result.perf).c_str());
     }
     std::printf("{\"bench\":\"fig15_16\",\"runs\":%zu,\"threads\":%u,"
                 "\"wall_seconds\":%.3f,\"sum_run_seconds\":%.3f}\n",

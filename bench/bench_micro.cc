@@ -22,6 +22,7 @@
 #include "stats/cdf.h"
 #include "stats/ewma.h"
 #include "tcp/connection.h"
+#include "hotpath.h"
 #include "queue_throughput.h"
 
 namespace {
@@ -196,15 +197,20 @@ BENCHMARK(BM_AgentPoll)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
+#ifdef __OPTIMIZE__
+  const char* build = "optimized";
+#else
+  const char* build = "unoptimized";
+#endif
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--queue-json") == 0) {
-#ifdef __OPTIMIZE__
-      const char* build = "optimized";
-#else
-      const char* build = "unoptimized";
-#endif
       riptide::bench::print_queue_throughput_json(
           riptide::bench::measure_queue_throughput(), build);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--hotpath-json") == 0) {
+      riptide::bench::print_hotpath_json(riptide::bench::measure_hotpath(),
+                                         build);
       return 0;
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "host/ss_format.h"
@@ -384,25 +385,41 @@ void RiptideAgent::poll_once() {
 
   // 2. Group by destination. Either read the snapshot directly or go
   // through the textual `ss` round-trip, exactly as the paper's
-  // user-space script does.
-  std::map<net::Prefix, std::vector<Observation>> groups;
+  // user-space script does. Observations are collected into one flat
+  // scratch buffer and stably sorted by destination, so each group is a
+  // contiguous run handed to the combiner as a span — the former
+  // map<Prefix, vector<Observation>> cost a node allocation plus a vector
+  // per destination on every poll. The stable sort keeps snapshot order
+  // within a destination, so combiner input order (and therefore float
+  // summation order) is exactly what the map grouping produced.
+  poll_scratch_.clear();
   if (config_.via_text_interface) {
     const std::string text = host::format_socket_stats(snapshot);
     for (const auto& info : host::parse_socket_stats(text)) {
       if (info.state != tcp::TcpState::kEstablished) continue;
       ++stats_.connections_observed;
-      groups[destination_key(info.remote_addr)].push_back(Observation{
-          static_cast<double>(info.cwnd_segments), info.bytes_acked});
+      poll_scratch_.push_back(
+          {destination_key(info.remote_addr),
+           Observation{static_cast<double>(info.cwnd_segments),
+                       info.bytes_acked}});
     }
   } else {
     for (const auto& info : snapshot) {
       if (info.state != tcp::TcpState::kEstablished) continue;
       ++stats_.connections_observed;
-      groups[destination_key(info.tuple.remote_addr)].push_back(
-          Observation{static_cast<double>(info.cwnd_segments),
-                      info.bytes_acked});
+      poll_scratch_.push_back(
+          {destination_key(info.tuple.remote_addr),
+           Observation{static_cast<double>(info.cwnd_segments),
+                       info.bytes_acked}});
     }
   }
+  std::stable_sort(poll_scratch_.begin(), poll_scratch_.end(),
+                   [](const DestObservation& a, const DestObservation& b) {
+                     return a.destination < b.destination;
+                   });
+  poll_observations_.clear();
+  poll_observations_.reserve(poll_scratch_.size());
+  for (const auto& d : poll_scratch_) poll_observations_.push_back(d.obs);
 
   // Retransmit-rate deltas for the staleness guard (empty when disabled).
   // Computed from the snapshot either way: the text format round-trips
@@ -414,8 +431,17 @@ void RiptideAgent::poll_once() {
   // the whole table; the program sequence below runs in the same
   // ascending destination order this loop always has.
   std::vector<std::pair<net::Prefix, double>> decisions;
-  decisions.reserve(groups.size());
-  for (const auto& [destination, observations] : groups) {
+  decisions.reserve(poll_scratch_.size());
+  for (std::size_t i = 0; i < poll_scratch_.size();) {
+    const net::Prefix destination = poll_scratch_[i].destination;
+    std::size_t j = i + 1;
+    while (j < poll_scratch_.size() &&
+           poll_scratch_[j].destination == destination) {
+      ++j;
+    }
+    const std::span<const Observation> observations(
+        poll_observations_.data() + i, j - i);
+    i = j;
     if (observations.size() < config_.min_samples) continue;
     const double observed = combiner_->combine(observations);
 

@@ -209,6 +209,16 @@ class RiptideAgent {
   // Host-wide counter values at the previous poll, for governor deltas.
   std::uint64_t prev_host_retrans_ = 0;
   std::uint64_t prev_host_packets_ = 0;
+  // Poll-loop scratch, reused across polls so steady-state polling does
+  // not allocate: observations tagged with their destination, stably
+  // sorted so each destination is a contiguous run, plus the flat
+  // observation array the combiner spans point into.
+  struct DestObservation {
+    net::Prefix destination;
+    Observation obs;
+  };
+  std::vector<DestObservation> poll_scratch_;
+  std::vector<Observation> poll_observations_;
   AgentStats stats_;
 };
 

@@ -6,7 +6,7 @@
 namespace riptide::core {
 
 double AverageCombiner::combine(
-    const std::vector<Observation>& observations) const {
+    std::span<const Observation> observations) const {
   if (observations.empty()) {
     throw std::invalid_argument("AverageCombiner: empty observations");
   }
@@ -15,8 +15,7 @@ double AverageCombiner::combine(
   return sum / static_cast<double>(observations.size());
 }
 
-double MaxCombiner::combine(
-    const std::vector<Observation>& observations) const {
+double MaxCombiner::combine(std::span<const Observation> observations) const {
   if (observations.empty()) {
     throw std::invalid_argument("MaxCombiner: empty observations");
   }
@@ -26,7 +25,7 @@ double MaxCombiner::combine(
 }
 
 double TrafficWeightedCombiner::combine(
-    const std::vector<Observation>& observations) const {
+    std::span<const Observation> observations) const {
   if (observations.empty()) {
     throw std::invalid_argument("TrafficWeightedCombiner: empty observations");
   }

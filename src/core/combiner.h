@@ -1,8 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
-#include <vector>
+#include <span>
 
 #include "core/config.h"
 
@@ -16,18 +17,29 @@ struct Observation {
 
 // Collapses the observations of one destination group into a single window
 // estimate in segments (§III-B "Combination Algorithm").
+//
+// Takes a span rather than a vector: the agent's poll loop keeps all
+// observations of a cycle in one flat buffer and hands each destination's
+// contiguous run to the combiner, so the per-destination vectors (one heap
+// allocation per destination per poll) are gone.
 class Combiner {
  public:
   virtual ~Combiner() = default;
   // Precondition: observations is non-empty.
-  virtual double combine(const std::vector<Observation>& observations) const = 0;
+  virtual double combine(std::span<const Observation> observations) const = 0;
+  // Convenience for tests/call sites with literal observation lists.
+  double combine(std::initializer_list<Observation> observations) const {
+    return combine(
+        std::span<const Observation>(observations.begin(), observations.size()));
+  }
   virtual const char* name() const = 0;
 };
 
 // Paper default: plain mean of the current windows.
 class AverageCombiner : public Combiner {
  public:
-  double combine(const std::vector<Observation>& observations) const override;
+  using Combiner::combine;
+  double combine(std::span<const Observation> observations) const override;
   const char* name() const override { return "average"; }
 };
 
@@ -35,7 +47,8 @@ class AverageCombiner : public Combiner {
 // capable of handling".
 class MaxCombiner : public Combiner {
  public:
-  double combine(const std::vector<Observation>& observations) const override;
+  using Combiner::combine;
+  double combine(std::span<const Observation> observations) const override;
   const char* name() const override { return "max"; }
 };
 
@@ -44,7 +57,8 @@ class MaxCombiner : public Combiner {
 // window) don't dominate the estimate.
 class TrafficWeightedCombiner : public Combiner {
  public:
-  double combine(const std::vector<Observation>& observations) const override;
+  using Combiner::combine;
+  double combine(std::span<const Observation> observations) const override;
   const char* name() const override { return "traffic-weighted"; }
 };
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "tcp/segment_pool.h"
+
 namespace riptide::host {
 
 Host::Host(sim::Simulator& sim, std::string name, net::Ipv4Address address,
@@ -39,12 +41,9 @@ std::uint16_t Host::allocate_port() {
 tcp::TcpConnection& Host::create_connection(
     const tcp::FourTuple& tuple, const tcp::TcpConfig& config,
     tcp::TcpConnection::Callbacks callbacks) {
-  auto sender = [this, tuple](std::shared_ptr<const tcp::Segment> seg) {
-    send_segment(tuple, std::move(seg));
-  };
-
   auto conn = std::make_unique<tcp::TcpConnection>(
-      sim_, config, tuple, std::move(sender), std::move(callbacks));
+      sim_, config, tuple, &Host::send_segment_thunk, this,
+      std::move(callbacks));
   // Host-owned cleanup; survives any later set_callbacks by the app.
   conn->set_teardown_hook([this, tuple] { schedule_removal(tuple); });
   auto [it, inserted] = connections_.emplace(tuple, std::move(conn));
@@ -109,8 +108,12 @@ void Host::listen(std::uint16_t port, AcceptHook on_accept) {
 
 void Host::close_listener(std::uint16_t port) { listeners_.erase(port); }
 
-void Host::send_segment(const tcp::FourTuple& tuple,
-                        std::shared_ptr<const tcp::Segment> seg) {
+void Host::send_segment_thunk(void* ctx, const tcp::FourTuple& tuple,
+                              tcp::SegmentRef seg) {
+  static_cast<Host*>(ctx)->send_segment(tuple, std::move(seg));
+}
+
+void Host::send_segment(const tcp::FourTuple& tuple, tcp::SegmentRef seg) {
   const RouteEntry* route = routes_.lookup(tuple.remote_addr);
   if (route == nullptr || route->device == nullptr) {
     ++stats_.no_route_drops;
@@ -120,7 +123,7 @@ void Host::send_segment(const tcp::FourTuple& tuple,
   packet.src = tuple.local_addr;
   packet.dst = tuple.remote_addr;
   packet.size_bytes = seg->payload_bytes + default_config_.header_bytes;
-  packet.payload = std::move(seg);
+  packet.payload = std::move(seg).ref();
   ++stats_.packets_sent;
   route->device->receive(packet);
 }
@@ -128,7 +131,7 @@ void Host::send_segment(const tcp::FourTuple& tuple,
 void Host::send_rst_for(const net::Packet& packet, const tcp::Segment& seg) {
   const RouteEntry* route = routes_.lookup(packet.src);
   if (route == nullptr || route->device == nullptr) return;
-  auto rst = std::make_shared<tcp::Segment>();
+  tcp::SegmentRef rst = tcp::SegmentPool::local().allocate();
   rst->src_port = seg.dst_port;
   rst->dst_port = seg.src_port;
   rst->rst = true;
@@ -138,7 +141,7 @@ void Host::send_rst_for(const net::Packet& packet, const tcp::Segment& seg) {
   out.src = packet.dst;
   out.dst = packet.src;
   out.size_bytes = default_config_.header_bytes;
-  out.payload = std::move(rst);
+  out.payload = std::move(rst).ref();
   ++stats_.rst_sent;
   ++stats_.packets_sent;
   route->device->receive(out);
@@ -146,7 +149,7 @@ void Host::send_rst_for(const net::Packet& packet, const tcp::Segment& seg) {
 
 void Host::receive(const net::Packet& packet) {
   ++stats_.packets_received;
-  const auto* seg = dynamic_cast<const tcp::Segment*>(packet.payload.get());
+  const auto* seg = tcp::segment_from(packet);
   if (seg == nullptr) return;  // only TCP exists in this simulation
 
   const tcp::FourTuple tuple{packet.dst, seg->dst_port, packet.src,

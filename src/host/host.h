@@ -103,8 +103,10 @@ class Host : public net::PacketSink {
  private:
   tcp::TcpConfig effective_config(net::Ipv4Address peer,
                                   const tcp::TcpConfig& base) const;
-  void send_segment(const tcp::FourTuple& tuple,
-                    std::shared_ptr<const tcp::Segment> seg);
+  // TcpConnection::SegmentSender target: `ctx` is the owning Host.
+  static void send_segment_thunk(void* ctx, const tcp::FourTuple& tuple,
+                                 tcp::SegmentRef seg);
+  void send_segment(const tcp::FourTuple& tuple, tcp::SegmentRef seg);
   void send_rst_for(const net::Packet& packet, const tcp::Segment& seg);
   tcp::TcpConnection& create_connection(const tcp::FourTuple& tuple,
                                         const tcp::TcpConfig& config,

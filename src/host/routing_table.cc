@@ -44,6 +44,7 @@ const RouteEntry* RoutingTable::find_route(const net::Prefix& prefix) const {
 
 std::vector<RouteEntry> RoutingTable::learned_routes() const {
   std::vector<RouteEntry> learned;
+  learned.reserve(entries_.size());
   for (const auto& entry : entries_) {
     if (entry.prefix.length() == 0) continue;
     if (entry.metrics.initcwnd_segments == 0) continue;

@@ -1,7 +1,9 @@
 #include "host/ss_format.h"
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string_view>
 
 namespace riptide::host {
 
@@ -61,19 +63,40 @@ bool parse_endpoint(const std::string& token, net::Ipv4Address& addr,
   return true;
 }
 
-// "key:value" -> value string, empty when the key doesn't match.
-bool keyed_value(const std::string& token, const char* key,
+// "key:value" -> value string, empty when the key doesn't match. The
+// prefix check is done on string_views so a non-matching key (the common
+// case: every token is tested against every key) costs no allocation.
+bool keyed_value(const std::string& token, std::string_view key,
                  std::string& value) {
-  const std::string prefix = std::string(key) + ":";
-  if (token.rfind(prefix, 0) != 0) return false;
-  value = token.substr(prefix.size());
+  const std::string_view tok(token);
+  if (tok.size() <= key.size() || tok[key.size()] != ':' ||
+      tok.compare(0, key.size(), key) != 0) {
+    return false;
+  }
+  value.assign(token, key.size() + 1, std::string::npos);
   return true;
 }
 
 }  // namespace
 
+namespace {
+
+// "%u.%u.%u.%u:%u" without the to_string() temporary.
+int format_endpoint(char* buf, std::size_t size, net::Ipv4Address addr,
+                    std::uint16_t port) {
+  const std::uint32_t v = addr.value();
+  return std::snprintf(buf, size, "%u.%u.%u.%u:%u", (v >> 24) & 0xff,
+                       (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff,
+                       static_cast<unsigned>(port));
+}
+
+}  // namespace
+
 std::string format_socket_stats(const std::vector<SocketInfo>& infos) {
-  std::ostringstream os;
+  std::string out;
+  // Generous per-line upper bound (observed lines are ~110 bytes); one
+  // reserve up front instead of ostringstream's repeated regrowth.
+  out.reserve(infos.size() * 160);
   for (const auto& info : infos) {
     char rtt_buf[32];
     if (info.srtt) {
@@ -82,16 +105,24 @@ std::string format_socket_stats(const std::vector<SocketInfo>& infos) {
     } else {
       std::snprintf(rtt_buf, sizeof(rtt_buf), "-");
     }
-    os << state_token(info.state) << ' '
-       << info.tuple.local_addr.to_string() << ':' << info.tuple.local_port
-       << ' ' << info.tuple.remote_addr.to_string() << ':'
-       << info.tuple.remote_port << " cwnd:" << info.cwnd_segments
-       << " bytes_acked:" << info.bytes_acked << " rtt:" << rtt_buf
-       << " unacked:" << info.bytes_in_flight
-       << " retrans:" << info.retransmissions
-       << " segs_out:" << info.segments_sent << '\n';
+    char local_buf[32], remote_buf[32];
+    format_endpoint(local_buf, sizeof(local_buf), info.tuple.local_addr,
+                    info.tuple.local_port);
+    format_endpoint(remote_buf, sizeof(remote_buf), info.tuple.remote_addr,
+                    info.tuple.remote_port);
+    char line[256];
+    const int n = std::snprintf(
+        line, sizeof(line),
+        "%s %s %s cwnd:%u bytes_acked:%llu rtt:%s unacked:%llu retrans:%llu"
+        " segs_out:%llu\n",
+        state_token(info.state), local_buf, remote_buf, info.cwnd_segments,
+        static_cast<unsigned long long>(info.bytes_acked), rtt_buf,
+        static_cast<unsigned long long>(info.bytes_in_flight),
+        static_cast<unsigned long long>(info.retransmissions),
+        static_cast<unsigned long long>(info.segments_sent));
+    if (n > 0) out.append(line, static_cast<std::size_t>(n));
   }
-  return os.str();
+  return out;
 }
 
 std::vector<ParsedSocketInfo> parse_socket_stats(const std::string& text) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/random.h"
+#include "stats/perf.h"
 
 namespace riptide::net {
 
@@ -43,6 +44,26 @@ void Link::set_propagation_delay(sim::Time delay) {
   config_.propagation_delay = delay;
 }
 
+void Link::prune_completed() {
+  // A slot is freed the instant serialization completes — a completion
+  // stamped exactly `now` no longer occupies the buffer, matching the
+  // previous event-based scheme where the free ran before any same-time
+  // admission attempt.
+  const sim::Time now = sim_.now();
+  while (!completions_.empty() && completions_.front() <= now) {
+    completions_.pop_front();
+  }
+}
+
+std::size_t Link::queue_depth() const {
+  // Count without mutating: completions_ is sorted, so the live entries
+  // are the strict upper range above now.
+  const sim::Time now = sim_.now();
+  return static_cast<std::size_t>(
+      std::end(completions_) -
+      std::upper_bound(std::begin(completions_), std::end(completions_), now));
+}
+
 void Link::receive(const Packet& packet) {
   ++stats_.packets_sent;
 
@@ -56,7 +77,8 @@ void Link::receive(const Packet& packet) {
     return;
   }
 
-  if (queued_ >= config_.queue_packets) {
+  prune_completed();
+  if (completions_.size() >= config_.queue_packets) {
     ++stats_.drops_queue_full;
     return;
   }
@@ -64,12 +86,14 @@ void Link::receive(const Packet& packet) {
   const sim::Time start = std::max(sim_.now(), busy_until_);
   const sim::Time done = start + transmission_time(packet.size_bytes);
   busy_until_ = done;
-  ++queued_;
-
   // The buffer slot is freed once serialization completes; propagation is
   // flight time on the wire and must not consume queue capacity (a long
   // path would otherwise throttle the link far below its rate).
-  sim_.schedule_at(done, [this] { --queued_; });
+  completions_.push_back(done);
+  auto& perf = perf::local();
+  ++perf.packets_queued;
+  perf.bytes_queued += packet.size_bytes;
+
   sim_.schedule_at(done + config_.propagation_delay, [this, packet] {
     ++stats_.packets_delivered;
     stats_.bytes_delivered += packet.size_bytes;

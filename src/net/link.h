@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 
 #include "net/packet.h"
@@ -63,7 +64,11 @@ class Link : public PacketSink {
 
   const LinkStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
-  std::size_t queue_depth() const { return queued_; }
+  // Packets admitted but not yet fully serialized as of `now`. Occupancy
+  // is tracked as a ring of serialization-completion times pruned lazily,
+  // not with a per-packet "free the slot" event: the event-queue traffic
+  // this saves is one schedule + one dispatch per packet.
+  std::size_t queue_depth() const;
 
   // -- Runtime mutation (fault injection) --
   // A downed link drops every packet offered to it (counted separately);
@@ -79,12 +84,18 @@ class Link : public PacketSink {
   void set_propagation_delay(sim::Time delay);
 
  private:
+  // Drops completion stamps that are in the past; the remainder is the
+  // live queue occupancy.
+  void prune_completed();
+
   sim::Simulator& sim_;
   Config config_;
   PacketSink& sink_;
   sim::Rng* rng_;
   sim::Time busy_until_;
-  std::size_t queued_ = 0;  // packets admitted but not yet fully serialized
+  // Serialization-completion times of admitted packets, non-decreasing
+  // (FIFO service discipline), pruned against sim_.now() on each receive.
+  std::deque<sim::Time> completions_;
   bool up_ = true;
   LinkStats stats_;
 };

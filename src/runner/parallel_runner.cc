@@ -15,10 +15,16 @@ std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs) const {
         result.index = i;
         result.label = std::move(spec.label);
         const auto start = std::chrono::steady_clock::now();
+        const perf::Counters perf_before = perf::local();
         result.experiment =
             std::make_unique<cdn::Experiment>(std::move(spec.config));
         if (spec.setup) spec.setup(*result.experiment);
         result.experiment->run();
+        // Release pending callbacks (and the pooled segments they capture)
+        // on this worker thread: the experiment outlives the worker, but
+        // its segments must return to this thread's SegmentPool.
+        result.experiment->simulator().drop_pending();
+        result.perf = perf::local().delta_since(perf_before);
         result.wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)

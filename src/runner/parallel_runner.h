@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cdn/experiment.h"
+#include "stats/perf.h"
 
 namespace riptide::runner {
 
@@ -26,6 +27,11 @@ struct RunResult {
   std::string label;
   std::unique_ptr<cdn::Experiment> experiment;
   double wall_seconds = 0.0;
+  // Hot-path counter deltas for this run, snapshotted around run() on the
+  // worker thread (counters are thread-local; reading them on the caller's
+  // thread would see nothing). Exact per run: each run is confined to one
+  // worker.
+  perf::Counters perf;
 };
 
 // Fans fully independent cdn::Experiment runs (treatment/control pairs,

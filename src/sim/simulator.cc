@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "stats/perf.h"
+
 namespace riptide::sim {
 
 std::uint32_t Simulator::acquire_slot() {
@@ -47,6 +49,23 @@ void Simulator::cancel_event(std::uint32_t slot, std::uint32_t gen) {
   }
   ++cancelled_;
   maybe_compact();
+}
+
+void Simulator::drop_pending() {
+  heap_.clear();
+  cancelled_ = 0;
+  // Rebuild the free list from scratch: every slot is released exactly
+  // once, and bumping the generation of already-free slots is harmless
+  // (their handles are invalid either way).
+  free_slots_.clear();
+  free_slots_.reserve(slab_.size());
+  for (std::uint32_t slot = 0; slot < slab_.size(); ++slot) {
+    EventRecord& rec = slab_[slot];
+    ++rec.gen;
+    rec.cb.reset();
+    rec.interval = Time::zero();
+    free_slots_.push_back(slot);
+  }
 }
 
 void Simulator::maybe_compact() {
@@ -165,6 +184,7 @@ std::uint64_t Simulator::run_until(Time deadline) {
   // Advance the clock to the deadline so consecutive run_until calls observe
   // contiguous time even when the queue idles.
   if (now_ < deadline) now_ = deadline;
+  perf::local().events_dispatched += ran;
   return ran;
 }
 
@@ -177,6 +197,7 @@ std::uint64_t Simulator::run() {
     pop_and_run_next();
     ++ran;
   }
+  perf::local().events_dispatched += ran;
   return ran;
 }
 

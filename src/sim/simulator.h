@@ -78,6 +78,15 @@ class Simulator {
   // Stops the current run_* call after the in-flight event completes.
   void stop() { stopped_ = true; }
 
+  // Destroys every scheduled callback without running it and invalidates
+  // all outstanding handles. For finished simulations whose owner is about
+  // to cross a thread boundary: pending callbacks can capture pooled
+  // segments, and the thread-local SegmentPool they must return to dies
+  // with the thread that ran the simulation, so a worker drains here
+  // before handing the experiment back. Must not be called from inside a
+  // running callback.
+  void drop_pending();
+
   std::uint64_t events_executed() const { return executed_; }
 
   // Queue entries, including not-yet-reclaimed cancelled ones. Compaction

@@ -55,7 +55,13 @@ struct ConnectionStats {
 // (NewReno partial-ACK retransmission), go-back-N after an RTO, no HyStart.
 class TcpConnection {
  public:
-  using SegmentSender = std::function<void(std::shared_ptr<const Segment>)>;
+  // Outbound segment dispatch. A bare function pointer plus context word
+  // instead of std::function: emit() runs once per segment, and the old
+  // type-erased callable cost an indirect call through a heap-allocated
+  // capture (this + tuple) per connection. The connection passes its own
+  // tuple, so the context is just the owning host.
+  using SegmentSender = void (*)(void* ctx, const FourTuple& tuple,
+                                 SegmentRef seg);
 
   struct Callbacks {
     std::function<void()> on_established;
@@ -71,7 +77,7 @@ class TcpConnection {
   // applies any per-route initcwnd/initrwnd before construction. This
   // mirrors Linux, where route metrics are consulted once at connect time.
   TcpConnection(sim::Simulator& sim, TcpConfig config, FourTuple tuple,
-                SegmentSender sender, Callbacks callbacks);
+                SegmentSender sender, void* sender_ctx, Callbacks callbacks);
   ~TcpConnection();
 
   TcpConnection(const TcpConnection&) = delete;
@@ -137,8 +143,8 @@ class TcpConnection {
 
  private:
   // -- segment construction --
-  std::shared_ptr<Segment> make_segment() const;
-  void emit(std::shared_ptr<Segment> seg);
+  SegmentRef make_segment() const;
+  void emit(SegmentRef seg);
   void send_ack_now();
   void send_rst();
 
@@ -153,6 +159,7 @@ class TcpConnection {
   void note_paced_send(std::uint32_t bytes);
   void arm_rto();
   void cancel_rto();
+  void on_rto_timer();
   void on_rto();
 
   // -- receiver path --
@@ -173,6 +180,7 @@ class TcpConnection {
   TcpConfig config_;
   FourTuple tuple_;
   SegmentSender sender_;
+  void* sender_ctx_ = nullptr;
   Callbacks callbacks_;
   std::function<void()> teardown_hook_;
 
@@ -214,7 +222,16 @@ class TcpConnection {
   bool window_opened_ = false;
   std::uint32_t unacked_segments_ = 0;
 
+  // The RTO timer is *lazy*: rearming on every ACK (the old cancel +
+  // reschedule pair per segment) only moves the deadline field; the
+  // pending event, when it fires early, puts itself back to sleep until
+  // the current deadline. Event-queue traffic drops from one cancel+push
+  // per ACK to one dispatch per RTO interval. (The delayed-ACK timer is
+  // NOT lazy — see the note at schedule_delayed_ack.)
   sim::EventHandle rto_timer_;
+  sim::Time rto_deadline_;       // meaningful while rto_armed_
+  sim::Time rto_scheduled_for_;  // fire time of the pending event
+  bool rto_armed_ = false;
   sim::EventHandle delack_timer_;
   sim::EventHandle time_wait_timer_;
   sim::EventHandle pacing_timer_;

@@ -33,6 +33,17 @@ class ReceiveTracker {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> intervals(
       std::size_t max_intervals) const;
 
+  // Allocation-free variant: appends the same ranges into any container
+  // with push_back (the segment's inline SackBlocks on the hot path).
+  template <typename Out>
+  void fill_intervals(Out& out, std::size_t max_intervals) const {
+    std::size_t n = 0;
+    for (const auto& [s, e] : ooo_) {
+      if (n++ >= max_intervals) break;
+      out.push_back({s, e});
+    }
+  }
+
  private:
   std::uint64_t rcv_nxt_;
   // start -> end, disjoint, all strictly above rcv_nxt_.
