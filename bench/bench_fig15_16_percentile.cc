@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
 
   auto base = bench::paper_world(/*riptide=*/true);
   base.duration = sim::Time::minutes(4);
+  bench::apply_trace(base, opt);
 
   auto specs = runner::SweepSpec(base)
                    .seeds(opt.seeds)

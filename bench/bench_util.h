@@ -16,10 +16,14 @@ namespace riptide::bench {
 //                   (0/default = one per hardware thread)
 //   --seeds a,b,c   seeds to sweep where the bench supports it
 //   --json          additionally emit machine-readable result lines
+//   --trace PATH    enable decision-audit tracing on simulation benches;
+//                   "{label}"/"{index}" in PATH expand per run, so one
+//                   flag fans out to per-run JSONL files
 struct BenchOptions {
   unsigned threads = 0;
   std::vector<std::uint64_t> seeds = {1};
   bool json = false;
+  std::string trace_path;
 };
 
 // Benchmark numbers from an -O0 build are noise; say so loudly (satellite
@@ -51,9 +55,12 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       if (opt.seeds.empty()) opt.seeds = {1};
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] [--seeds a,b,c] [--json]\n",
+                   "usage: %s [--threads N] [--seeds a,b,c] [--json] "
+                   "[--trace PATH]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -120,6 +127,15 @@ inline cdn::ExperimentConfig paper_world(bool riptide_enabled,
   config.cwnd_sample_interval = sim::Time::seconds(15);
   config.seed = seed;
   return config;
+}
+
+// Applies the --trace option to a simulation config. No-op without the
+// flag, preserving the tracing-off bit-identity contract benches rely on.
+inline void apply_trace(cdn::ExperimentConfig& config,
+                        const BenchOptions& opt) {
+  if (opt.trace_path.empty()) return;
+  config.trace.enabled = true;
+  config.trace.export_path = opt.trace_path;
 }
 
 // Per-reason drop counters and loss-recovery totals for one run, as a JSON

@@ -110,7 +110,20 @@ void Experiment::build() {
   }
 }
 
-void Experiment::run() { sim_.run_until(config_.duration); }
+void Experiment::run() {
+  // The sink is created lazily here (not in build()) so a never-run
+  // experiment owns nothing, and installed only for the span of the event
+  // loop: every emit site in tcp/core/net/faults/persist sees it through
+  // the thread-local slot, including on a ParallelRunner worker thread.
+  if (config_.trace.enabled && trace_sink_ == nullptr) {
+    trace_sink_ = std::make_unique<trace::TraceSink>(config_.trace);
+  }
+  trace::ScopedSink scoped(trace_sink_.get());
+  sim_.run_until(config_.duration);
+  if (trace_sink_ != nullptr && !config_.trace.export_path.empty()) {
+    trace_sink_->write_jsonl(config_.trace.export_path);
+  }
+}
 
 stats::Cdf Experiment::probe_cdf(int src_pop, std::uint64_t object_bytes,
                                  int dst_pop, bool fresh_only) const {

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "sim/simulator.h"
 #include "stats/cdf.h"
+#include "trace/sink.h"
 
 namespace riptide::cdn {
 
@@ -51,6 +52,13 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
 
+  // Decision-audit tracing (src/trace). Off by default; when off, the run
+  // is bit-identical to a build without the feature. When enabled the
+  // experiment owns a TraceSink that is installed on the running thread
+  // for exactly the duration of run(), and exported to
+  // trace.export_path (JSONL) afterwards if one is set.
+  trace::TraceConfig trace{};
+
   // Dependency-injection seams for fault harnesses and instrumented tests.
   // When set, build() asks the factory for each agent's actuator / `ss`
   // surface instead of the host-backed defaults. Factories must be pure
@@ -87,6 +95,11 @@ class Experiment {
   // null when no factory was configured.
   const std::shared_ptr<void>& extension() const { return extension_; }
 
+  // The decision-audit sink, or null when config.trace.enabled is false.
+  // Populated only while/after run() executes on this experiment.
+  trace::TraceSink* trace_sink() { return trace_sink_.get(); }
+  const trace::TraceSink* trace_sink() const { return trace_sink_.get(); }
+
   // Completion-time CDF (ms) for probes of `object_bytes` from `src_pop`,
   // optionally restricted to one destination PoP (dst_pop >= 0) and/or
   // fresh connections only.
@@ -107,6 +120,7 @@ class Experiment {
   std::vector<std::unique_ptr<OrganicSource>> organic_sources_;
   std::vector<std::unique_ptr<core::RiptideAgent>> agents_;
   std::shared_ptr<void> extension_;
+  std::unique_ptr<trace::TraceSink> trace_sink_;
 };
 
 // Percentile-by-percentile improvement of `treatment` over `baseline`

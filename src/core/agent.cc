@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "host/ss_format.h"
+#include "trace/sink.h"
 
 namespace riptide::core {
 
@@ -169,7 +170,36 @@ void RiptideAgent::adopt_existing_routes() {
     // reconcile, withdraw, or roll back.
     installed_[entry.prefix] = entry.metrics;
     ++stats_.routes_adopted;
+    trace_route(trace::RouteCause::kAdopted, entry.prefix,
+                static_cast<double>(entry.metrics.initcwnd_segments));
   }
+}
+
+void RiptideAgent::trace_route(trace::RouteCause cause, const net::Prefix& dst,
+                               double window) {
+  auto* sink = trace::active();
+  if (sink == nullptr) return;
+  trace::TraceEvent ev;
+  ev.at_ns = sim_.now().ns();
+  ev.kind = trace::EventKind::kAgentRoute;
+  ev.route = {host_.address().value(), dst.address().value(),
+              static_cast<std::uint8_t>(dst.length()), cause, window};
+  sink->emit(ev);
+}
+
+void RiptideAgent::trace_program(trace::ProgramVerdict verdict,
+                                 const net::Prefix& dst, double scale,
+                                 std::uint32_t initcwnd,
+                                 std::uint32_t initrwnd) {
+  auto* sink = trace::active();
+  if (sink == nullptr) return;
+  trace::TraceEvent ev;
+  ev.at_ns = sim_.now().ns();
+  ev.kind = trace::EventKind::kAgentProgram;
+  ev.program = {host_.address().value(), dst.address().value(),
+                static_cast<std::uint8_t>(dst.length()), verdict, scale,
+                initcwnd, initrwnd};
+  sink->emit(ev);
 }
 
 net::Prefix RiptideAgent::destination_key(net::Ipv4Address peer) const {
@@ -325,9 +355,11 @@ void RiptideAgent::apply_staleness_guard(
       // The learned window has decayed to the floor and the path is still
       // hurting: withdraw outright, restoring the default initial window.
       table_.erase(dst);
+      trace_route(trace::RouteCause::kStalenessWithdraw, dst, 0.0);
       withdraw_route(dst);
       ++stats_.staleness_withdrawals;
     } else {
+      trace_route(trace::RouteCause::kStalenessDecay, dst, decayed);
       table_.store_final(dst, decayed, now);
       const auto initcwnd =
           static_cast<std::uint32_t>(std::lround(decayed));
@@ -446,27 +478,48 @@ void RiptideAgent::poll_once() {
     const double observed = combiner_->combine(observations);
 
     // Trend guard (§V): a cliff-drop of the observation signals an
-    // incident — reset the learned window instead of gliding down.
+    // incident — reset the learned window instead of gliding down. The
+    // fold is hoisted above the branch (it refreshes the TTL either way
+    // and does not touch the stored final value of an existing entry).
     const DestinationState* previous = table_.find(destination);
+    const double folded =
+        table_.fold(destination, observed, config_.alpha, now);
+    bool trend_reset = false;
     double final_window;
     if (config_.trend_guard && previous != nullptr &&
         observed < previous->final_window_segments *
                        (1.0 - config_.trend_drop_fraction)) {
       final_window = static_cast<double>(config_.c_min);
-      table_.fold(destination, observed, config_.alpha, now);  // refresh TTL
+      trend_reset = true;
       ++stats_.trend_resets;
     } else {
-      final_window =
-          clamp_window(table_.fold(destination, observed, config_.alpha, now));
+      final_window = clamp_window(folded);
     }
     // Operator cap (§V): external signals bound how aggressive we may be.
-    if (window_cap_segments_ > 0) {
-      final_window = std::min(final_window,
-                              static_cast<double>(window_cap_segments_));
+    bool capped = false;
+    if (window_cap_segments_ > 0 &&
+        final_window > static_cast<double>(window_cap_segments_)) {
+      final_window = static_cast<double>(window_cap_segments_);
+      capped = true;
     }
     table_.store_final(destination, final_window, now);
     decisions.emplace_back(destination, final_window);
     ++stats_.destinations_updated;
+    if (auto* sink = trace::active()) {
+      trace::TraceEvent ev;
+      ev.at_ns = now.ns();
+      ev.kind = trace::EventKind::kAgentDecision;
+      ev.decision = {host_.address().value(),
+                     destination.address().value(),
+                     static_cast<std::uint8_t>(destination.length()),
+                     static_cast<std::uint8_t>(trend_reset),
+                     static_cast<std::uint8_t>(capped),
+                     static_cast<std::uint32_t>(observations.size()),
+                     observed,
+                     folded,
+                     final_window};
+      sink->emit(ev);
+    }
   }
 
   // Governor budget: when the whole table wants more total initcwnd than
@@ -495,8 +548,12 @@ void RiptideAgent::poll_once() {
         governor_.within_hysteresis(it->second.initcwnd_segments, initcwnd) &&
         !(scale < 1.0 && initcwnd < it->second.initcwnd_segments)) {
       ++stats_.governor_hysteresis_skips;
+      trace_program(trace::ProgramVerdict::kHysteresisSkip, destination, scale,
+                    initcwnd, initrwnd);
       continue;
     }
+    trace_program(trace::ProgramVerdict::kProgrammed, destination, scale,
+                  initcwnd, initrwnd);
     program_route(destination, initcwnd, initrwnd);
   }
 
@@ -521,6 +578,8 @@ void RiptideAgent::poll_once() {
     for (const auto& [destination, initcwnd] : shrink) {
       const std::uint32_t initrwnd =
           config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+      trace_program(trace::ProgramVerdict::kBudgetShrink, destination, scale,
+                    initcwnd, initrwnd);
       program_route(destination, initcwnd, initrwnd);
     }
   }
@@ -533,6 +592,7 @@ void RiptideAgent::poll_once() {
 
   // 6. Expire stale destinations, restoring default windows.
   for (const auto& destination : table_.expire(now, config_.ttl)) {
+    trace_route(trace::RouteCause::kExpired, destination, 0.0);
     withdraw_route(destination);
     ++stats_.routes_expired;
   }
@@ -556,7 +616,19 @@ void RiptideAgent::emergency_rollback(sim::Time now) {
   }
   std::sort(targets.begin(), targets.end(), net::PrefixOrder{});
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
-  for (const auto& destination : targets) withdraw_route(destination);
+  for (const auto& destination : targets) {
+    trace_route(trace::RouteCause::kRollback, destination, 0.0);
+    withdraw_route(destination);
+  }
+
+  if (auto* sink = trace::active()) {
+    trace::TraceEvent ev;
+    ev.at_ns = now.ns();
+    ev.kind = trace::EventKind::kAgentRollback;
+    ev.rollback = {host_.address().value(),
+                   static_cast<std::uint32_t>(targets.size())};
+    sink->emit(ev);
+  }
 
   stats_.governor_routes_rolled_back += targets.size();
   ++stats_.governor_rollbacks;
@@ -580,6 +652,7 @@ void RiptideAgent::reconcile_route_table() {
       // outlive their owner.
       if (table_.contains(entry.prefix)) continue;
       ++stats_.reconcile_orphaned;
+      trace_route(trace::RouteCause::kReconcileOrphan, entry.prefix, 0.0);
       withdraw_route(entry.prefix);
       continue;
     }
@@ -588,6 +661,8 @@ void RiptideAgent::reconcile_route_table() {
       // finger): reassert what we installed.
       ++stats_.reconcile_conflicting;
       ++stats_.reconcile_repaired;
+      trace_route(trace::RouteCause::kReconcileConflict, entry.prefix,
+                  static_cast<double>(it->second.initcwnd_segments));
       program_route(entry.prefix, it->second.initcwnd_segments,
                     it->second.initrwnd_segments);
     }
@@ -604,6 +679,8 @@ void RiptideAgent::reconcile_route_table() {
   }
   for (const auto& [destination, metrics] : missing) {
     ++stats_.reconcile_repaired;
+    trace_route(trace::RouteCause::kReconcileRepair, destination,
+                static_cast<double>(metrics.initcwnd_segments));
     program_route(destination, metrics.initcwnd_segments,
                   metrics.initrwnd_segments);
   }

@@ -15,6 +15,7 @@
 #include "host/host.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "trace/event.h"
 
 namespace riptide::core {
 
@@ -166,6 +167,14 @@ class RiptideAgent {
 
   static GovernorConfig governor_config(const RiptideConfig& config);
   double clamp_window(double value) const;
+  // -- decision-audit tracing (src/trace) --
+  // Emit one route-lifecycle / program-outcome record; no-ops costing a
+  // thread-local load when no sink is installed on this thread.
+  void trace_route(trace::RouteCause cause, const net::Prefix& dst,
+                   double window);
+  void trace_program(trace::ProgramVerdict verdict, const net::Prefix& dst,
+                     double scale, std::uint32_t initcwnd,
+                     std::uint32_t initrwnd);
   void adopt_existing_routes();
   // Governor actions and reconciliation (poll_once helpers).
   void emergency_rollback(sim::Time now);

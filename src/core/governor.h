@@ -7,10 +7,25 @@
 namespace riptide::core {
 
 struct GovernorConfig {
-  std::uint32_t budget_segments = 0;      // 0 = unlimited
-  std::uint32_t hysteresis_segments = 0;  // 0 = no damping
-  double rollback_retrans_fraction = 0.0;  // 0 = rollback disabled
+  // Host-wide ceiling on the *sum* of programmed initcwnd values across
+  // every route this agent owns. When a poll round's desired total
+  // exceeds it, every window that round is scaled down proportionally
+  // (budget / total) rather than some routes being starved — relative
+  // learned ordering between destinations is preserved. 0 = unlimited.
+  std::uint32_t budget_segments = 0;
+  // Skip reprogramming a route when |desired - installed| is within this
+  // band: damps route-churn from windows oscillating by a segment or two
+  // around a plateau. 0 = no damping (equal values reprogram every poll).
+  std::uint32_t hysteresis_segments = 0;
+  // Emergency brake: when retransmits / packets-sent over one poll
+  // interval crosses this fraction, the agent withdraws every learned
+  // route and enters cooldown. 0 = rollback disabled.
+  double rollback_retrans_fraction = 0.0;
+  // Rollback needs at least this many packets in the interval before the
+  // retransmit fraction is meaningful (a 1-for-2 blip must not trip it).
   std::uint64_t min_packets = 100;
+  // How long to stay in kCooldown (not polling, defaults restored)
+  // after a rollback before re-learning from live traffic.
   sim::Time cooldown = sim::Time::seconds(30);
 };
 

@@ -5,7 +5,32 @@
 #include <string>
 #include <utility>
 
+#include "trace/sink.h"
+
 namespace riptide::faults {
+
+namespace {
+
+// One `fault` trace record per plan-event application (or burst-window
+// restore). The label is the static to_string(FaultKind) literal, so the
+// ring entry stays trivially copyable.
+void trace_fault(sim::Simulator& sim, const FaultEvent& ev, bool restored) {
+  auto* sink = trace::active();
+  if (sink == nullptr) return;
+  trace::TraceEvent out;
+  out.at_ns = sim.now().ns();
+  out.kind = trace::EventKind::kFault;
+  out.fault = {to_string(ev.kind),
+               static_cast<std::uint8_t>(restored ? 1 : 0),
+               static_cast<std::uint32_t>(ev.pop_a),
+               static_cast<std::uint32_t>(ev.pop_b),
+               ev.host_index,
+               ev.value,
+               ev.duration.ns()};
+  sink->emit(out);
+}
+
+}  // namespace
 
 void FaultInjector::validate(const FaultEvent& ev) const {
   const std::size_t n = topology_.pop_count();
@@ -60,6 +85,7 @@ void FaultInjector::arm() {
   for (const FaultEvent& ev : plan_.events()) {
     sim_.schedule_at(ev.at, [this, ev] {
       ++stats_.events_fired;
+      trace_fault(sim_, ev, /*restored=*/false);
       apply(ev);
     });
   }
@@ -80,6 +106,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
         const bool up = (leg % 2) == 1;
         sim_.schedule(ev.duration * leg, [this, ev, up] {
           ++stats_.events_fired;
+          trace_fault(sim_, ev, /*restored=*/up);
           set_pair_up(ev.pop_a, ev.pop_b, up);
         });
       }
@@ -126,10 +153,11 @@ void FaultInjector::apply_loss_burst(const FaultEvent& ev) {
   ab.set_loss_probability(ev.value);
   ba.set_loss_probability(ev.value);
   ++stats_.bursts_applied;
-  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+  sim_.schedule(ev.duration, [this, ev, &ab, &ba, prev_ab, prev_ba] {
     ab.set_loss_probability(prev_ab);
     ba.set_loss_probability(prev_ba);
     ++stats_.bursts_restored;
+    trace_fault(sim_, ev, /*restored=*/true);
   });
 }
 
@@ -141,10 +169,11 @@ void FaultInjector::apply_rate_change(const FaultEvent& ev) {
   ab.set_rate_bps(prev_ab * ev.value);
   ba.set_rate_bps(prev_ba * ev.value);
   ++stats_.bursts_applied;
-  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+  sim_.schedule(ev.duration, [this, ev, &ab, &ba, prev_ab, prev_ba] {
     ab.set_rate_bps(prev_ab);
     ba.set_rate_bps(prev_ba);
     ++stats_.bursts_restored;
+    trace_fault(sim_, ev, /*restored=*/true);
   });
 }
 
@@ -157,10 +186,11 @@ void FaultInjector::apply_delay_change(const FaultEvent& ev) {
   ab.set_propagation_delay(prev_ab + extra);
   ba.set_propagation_delay(prev_ba + extra);
   ++stats_.bursts_applied;
-  sim_.schedule(ev.duration, [this, &ab, &ba, prev_ab, prev_ba] {
+  sim_.schedule(ev.duration, [this, ev, &ab, &ba, prev_ab, prev_ba] {
     ab.set_propagation_delay(prev_ab);
     ba.set_propagation_delay(prev_ba);
     ++stats_.bursts_restored;
+    trace_fault(sim_, ev, /*restored=*/true);
   });
 }
 
@@ -227,14 +257,28 @@ void FaultInjector::crash_one(AgentHooks hooks, sim::Time downtime, bool warm,
     }
   }
   ++stats_.restarts_scheduled;
-  sim_.schedule(downtime, [agent, checkpointer, warm, flush_routes,
+  sim_.schedule(downtime, [this, agent, checkpointer, warm, flush_routes,
                            memory_snapshot = std::move(memory_snapshot)] {
     if (warm) {
       if (checkpointer != nullptr) {
+        // Restore provenance (the agent-restore trace record) is emitted
+        // by the checkpointer, which knows the generation it used.
         checkpointer->restore(/*reinstall_routes=*/flush_routes);
       } else {
         agent->restore_table(memory_snapshot,
                              /*reinstall_routes=*/flush_routes);
+        if (auto* sink = trace::active()) {
+          trace::TraceEvent out;
+          out.at_ns = sim_.now().ns();
+          out.kind = trace::EventKind::kAgentRestore;
+          out.restore = {agent->host().address().value(),
+                         /*from_checkpoint=*/0,
+                         static_cast<std::uint8_t>(flush_routes ? 1 : 0),
+                         static_cast<std::uint32_t>(memory_snapshot.size()),
+                         /*generation=*/0,
+                         /*rejected=*/0};
+          sink->emit(out);
+        }
       }
     }
     agent->start();

@@ -1,10 +1,12 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 #include "sim/random.h"
 #include "stats/perf.h"
+#include "trace/sink.h"
 
 namespace riptide::net {
 
@@ -42,6 +44,22 @@ void Link::set_loss_probability(double p) {
 
 void Link::set_propagation_delay(sim::Time delay) {
   config_.propagation_delay = delay;
+}
+
+void Link::set_up(bool up) {
+  if (up != up_) {
+    if (auto* sink = trace::active()) {
+      trace::TraceEvent ev;
+      ev.at_ns = sim_.now().ns();
+      ev.kind = trace::EventKind::kLink;
+      ev.link = {};
+      std::strncpy(ev.link.name, config_.name.c_str(),
+                   sizeof(ev.link.name) - 1);
+      ev.link.up = up ? 1 : 0;
+      sink->emit(ev);
+    }
+  }
+  up_ = up;
 }
 
 void Link::prune_completed() {

@@ -73,8 +73,9 @@ class Link : public PacketSink {
   // -- Runtime mutation (fault injection) --
   // A downed link drops every packet offered to it (counted separately);
   // packets already serializing or in flight still deliver, as on a real
-  // interface whose far end goes away after transmission.
-  void set_up(bool up) { up_ = up; }
+  // interface whose far end goes away after transmission. Actual flips
+  // emit a `link` trace event (defined out of line for that reason).
+  void set_up(bool up);
   bool is_up() const { return up_; }
 
   // Precondition: rate > 0.

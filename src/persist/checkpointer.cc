@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "persist/snapshot.h"
+#include "trace/sink.h"
 
 namespace riptide::persist {
 
@@ -47,6 +48,8 @@ bool AgentCheckpointer::restore(bool reinstall_routes) {
       ++stats_.snapshots_rejected;
       continue;
     }
+    const std::size_t rejected_records =
+        decoded.stats.records_corrupt + decoded.stats.records_duplicate;
     // A header that decodes over a body where every claimed record failed
     // its CRC carries no state at all — an older generation with intact
     // records is the better fallback. Only an honestly empty snapshot
@@ -58,8 +61,7 @@ bool AgentCheckpointer::restore(bool reinstall_routes) {
       continue;
     }
     stats_.records_recovered += decoded.stats.records_ok;
-    stats_.records_discarded +=
-        decoded.stats.records_corrupt + decoded.stats.records_duplicate;
+    stats_.records_discarded += rejected_records;
     if (decoded.stats.truncated_tail) ++stats_.truncated_tails;
 
     core::AgentStats restored;
@@ -72,7 +74,35 @@ bool AgentCheckpointer::restore(bool reinstall_routes) {
     agent_.restore_table(std::move(decoded.table), reinstall_routes);
     sequence_ = std::max(sequence_, decoded.sequence);
     ++stats_.restores;
+    // Restore provenance: which generation fed the warm restart, how much
+    // of it survived validation, and whether routes were re-programmed.
+    if (auto* sink = trace::active()) {
+      trace::TraceEvent ev;
+      ev.at_ns = sim_.now().ns();
+      ev.kind = trace::EventKind::kAgentRestore;
+      ev.restore = {agent_.host().address().value(),
+                    /*from_checkpoint=*/1,
+                    static_cast<std::uint8_t>(reinstall_routes ? 1 : 0),
+                    static_cast<std::uint32_t>(decoded.stats.records_ok),
+                    static_cast<std::uint32_t>(decoded.sequence),
+                    static_cast<std::uint32_t>(rejected_records)};
+      sink->emit(ev);
+    }
     return true;
+  }
+  // Every stored snapshot failed to decode (or none existed): record the
+  // failed provenance too, so a cold-looking restart is attributable.
+  if (auto* sink = trace::active()) {
+    trace::TraceEvent ev;
+    ev.at_ns = sim_.now().ns();
+    ev.kind = trace::EventKind::kAgentRestore;
+    ev.restore = {agent_.host().address().value(),
+                  /*from_checkpoint=*/1,
+                  /*reinstalled=*/0,
+                  /*records=*/0,
+                  /*generation=*/0,
+                  static_cast<std::uint32_t>(stats_.snapshots_rejected)};
+    sink->emit(ev);
   }
   return false;
 }

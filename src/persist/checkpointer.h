@@ -54,6 +54,11 @@ class AgentCheckpointer {
   // when no stored snapshot yields a usable table. When
   // `reinstall_routes` is set the restored windows are programmed into
   // the host routing table immediately — the warm-reboot jump-start.
+  //
+  // With tracing active, every restore emits an `agent-restore`
+  // provenance event: which snapshot generation was used, how many
+  // records it yielded, and how many were rejected — and a failed
+  // restore emits one too, so a cold-looking restart is attributable.
   bool restore(bool reinstall_routes = false);
 
   SnapshotStore& store() { return store_; }

@@ -1,11 +1,24 @@
 #include "runner/parallel_runner.h"
 
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "runner/task_pool.h"
 
 namespace riptide::runner {
+
+namespace {
+
+void replace_all(std::string& s, const std::string& from,
+                 const std::string& to) {
+  for (std::size_t pos = 0; (pos = s.find(from, pos)) != std::string::npos;
+       pos += to.size()) {
+    s.replace(pos, from.size(), to);
+  }
+}
+
+}  // namespace
 
 std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs) const {
   return parallel_map<RunResult>(
@@ -14,6 +27,13 @@ std::vector<RunResult> ParallelRunner::run(std::vector<RunSpec> specs) const {
         RunResult result;
         result.index = i;
         result.label = std::move(spec.label);
+        // One sweep config can fan out to per-run trace files: "{label}"
+        // and "{index}" in the export path are expanded per spec.
+        if (!spec.config.trace.export_path.empty()) {
+          replace_all(spec.config.trace.export_path, "{label}", result.label);
+          replace_all(spec.config.trace.export_path, "{index}",
+                      std::to_string(i));
+        }
         const auto start = std::chrono::steady_clock::now();
         const perf::Counters perf_before = perf::local();
         result.experiment =

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tcp/segment_pool.h"
+#include "trace/sink.h"
 
 namespace riptide::tcp {
 
@@ -43,6 +44,34 @@ TcpConnection::~TcpConnection() {
   pacing_timer_.cancel();
 }
 
+trace::ConnKey TcpConnection::trace_key() const {
+  return trace::ConnKey{tuple_.local_addr.value(), tuple_.remote_addr.value(),
+                        tuple_.local_port, tuple_.remote_port};
+}
+
+void TcpConnection::set_state(TcpState next) {
+  if (auto* sink = trace::active(); sink != nullptr && next != state_) {
+    trace::TraceEvent ev;
+    ev.at_ns = sim_.now().ns();
+    ev.kind = trace::EventKind::kTcpState;
+    ev.tcp_state = {trace_key(), static_cast<std::uint8_t>(state_),
+                    static_cast<std::uint8_t>(next)};
+    sink->emit(ev);
+  }
+  state_ = next;
+}
+
+void TcpConnection::trace_cwnd(trace::CwndCause cause) {
+  auto* sink = trace::active();
+  if (sink == nullptr) return;
+  trace::TraceEvent ev;
+  ev.at_ns = sim_.now().ns();
+  ev.kind = trace::EventKind::kTcpCwnd;
+  ev.tcp_cwnd = {trace_key(), cause, cc_->cwnd_bytes(), cc_->ssthresh_bytes(),
+                 config_.mss};
+  sink->emit(ev);
+}
+
 std::uint64_t TcpConnection::bytes_acked() const {
   if (snd_una_ <= 1) return 0;  // only the SYN (or nothing) acked so far
   std::uint64_t acked = snd_una_ - 1;
@@ -68,7 +97,8 @@ void TcpConnection::connect() {
   if (state_ != TcpState::kClosed) {
     throw std::logic_error("TcpConnection::connect: not closed");
   }
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
+  trace_cwnd(trace::CwndCause::kInitcwndSeeded);
   auto syn = make_segment();
   syn->syn = true;
   syn->seq = 0;
@@ -86,7 +116,8 @@ void TcpConnection::accept(const Segment& syn) {
     throw std::logic_error("TcpConnection::accept: bad state or segment");
   }
   ++stats_.segments_received;
-  state_ = TcpState::kSynReceived;
+  set_state(TcpState::kSynReceived);
+  trace_cwnd(trace::CwndCause::kInitcwndSeeded);
   tracker_ = ReceiveTracker(1);  // peer ISS 0, SYN consumed
   peer_rwnd_ = syn.window_bytes;
   auto synack = make_segment();
@@ -123,14 +154,14 @@ void TcpConnection::abort() {
 }
 
 void TcpConnection::enter_established() {
-  state_ = TcpState::kEstablished;
+  set_state(TcpState::kEstablished);
   established_at_ = sim_.now();
   last_activity_ = sim_.now();
   if (callbacks_.on_established) callbacks_.on_established();
 }
 
 void TcpConnection::enter_time_wait() {
-  state_ = TcpState::kTimeWait;
+  set_state(TcpState::kTimeWait);
   cancel_rto();
   delack_timer_.cancel();
   time_wait_timer_.cancel();
@@ -140,7 +171,7 @@ void TcpConnection::enter_time_wait() {
 
 void TcpConnection::teardown(bool reset) {
   if (state_ == TcpState::kClosed) return;
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
   cancel_rto();
   delack_timer_.cancel();
   time_wait_timer_.cancel();
@@ -277,7 +308,11 @@ void TcpConnection::maybe_restart_after_idle() {
   if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) return;
   if (bytes_in_flight() > 0) return;
   if (sim_.now() - last_activity_ > rtt_.rto()) {
+    const std::uint64_t cwnd_before = cc_->cwnd_bytes();
     cc_->on_restart_after_idle();
+    if (cc_->cwnd_bytes() != cwnd_before) {
+      trace_cwnd(trace::CwndCause::kIdleRestart);
+    }
   }
 }
 
@@ -359,8 +394,8 @@ void TcpConnection::send_data_segment(std::uint64_t seq, std::uint32_t len,
   if (fin) {
     seg->fin = true;
     fin_sent_ = true;
-    if (state_ == TcpState::kEstablished) state_ = TcpState::kFinWait1;
-    else if (state_ == TcpState::kCloseWait) state_ = TcpState::kLastAck;
+    if (state_ == TcpState::kEstablished) set_state(TcpState::kFinWait1);
+    else if (state_ == TcpState::kCloseWait) set_state(TcpState::kLastAck);
   }
   unacked_segments_ = 0;  // this segment carries our current ACK
   delack_timer_.cancel();
@@ -451,6 +486,13 @@ void TcpConnection::on_rto() {
 
   ++stats_.timeouts;
   ++retries_;
+  if (auto* sink = trace::active()) {
+    trace::TraceEvent ev;
+    ev.at_ns = sim_.now().ns();
+    ev.kind = trace::EventKind::kTcpRto;
+    ev.tcp_rto = {trace_key(), rtt_.rto().ns(), retries_};
+    sink->emit(ev);
+  }
   rtt_.on_timeout();
 
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
@@ -469,6 +511,7 @@ void TcpConnection::on_rto() {
   }
 
   cc_->on_timeout(sim_.now(), bytes_in_flight());
+  trace_cwnd(trace::CwndCause::kRto);
   in_recovery_ = false;
   recovery_inflation_ = 0;
   dupacks_ = 0;
@@ -479,8 +522,8 @@ void TcpConnection::on_rto() {
   snd_nxt_ = snd_una_;
   if (fin_sent_ && snd_nxt_ <= data_end_seq()) {
     fin_sent_ = false;  // FIN will be re-attached when we reach it again
-    if (state_ == TcpState::kFinWait1) state_ = TcpState::kEstablished;
-    else if (state_ == TcpState::kLastAck) state_ = TcpState::kCloseWait;
+    if (state_ == TcpState::kFinWait1) set_state(TcpState::kEstablished);
+    else if (state_ == TcpState::kLastAck) set_state(TcpState::kCloseWait);
   }
   ++stats_.retransmissions;
   try_send();
@@ -572,6 +615,7 @@ void TcpConnection::process_ack(const Segment& seg) {
       in_recovery_ = true;
       recover_seq_ = snd_nxt_;
       cc_->on_enter_recovery(sim_.now(), bytes_in_flight());
+      trace_cwnd(trace::CwndCause::kFastRetransmit);
       recovery_inflation_ =
           std::uint64_t{config_.duplicate_ack_threshold} * config_.mss;
       ++stats_.fast_retransmits;
@@ -605,6 +649,7 @@ void TcpConnection::process_ack(const Segment& seg) {
       in_recovery_ = false;
       recovery_inflation_ = 0;
       cc_->on_exit_recovery(sim_.now());
+      trace_cwnd(trace::CwndCause::kRecoveryExit);
     } else {
       // NewReno partial ACK: retransmit the next hole, deflate, inflate by
       // one MSS (RFC 6582 §3.2).
@@ -614,17 +659,28 @@ void TcpConnection::process_ack(const Segment& seg) {
       arm_rto();
     }
   } else {
+    // Whether this ACK grows the window in slow start or congestion
+    // avoidance is decided by the controller's state *before* the ack is
+    // applied; snapshot it only when a sink is installed.
+    const bool traced = trace::active() != nullptr;
+    const std::uint64_t cwnd_before = traced ? cc_->cwnd_bytes() : 0;
+    const bool slow_start = traced && cc_->in_slow_start();
     cc_->on_ack(AckEvent{sim_.now(), acked, in_flight_before, sample});
+    if (traced && cc_->cwnd_bytes() != cwnd_before) {
+      trace_cwnd(slow_start ? trace::CwndCause::kSlowStart
+                            : trace::CwndCause::kCongestionAvoidance);
+    }
   }
 
   // Our FIN acknowledged?
   if (fin_sent_ && snd_una_ >= data_end_seq() + 1) {
     switch (state_) {
       case TcpState::kFinWait1:
-        state_ = peer_fin_seq_ && tracker_.rcv_nxt() > *peer_fin_seq_
-                     ? TcpState::kTimeWait
-                     : TcpState::kFinWait2;
-        if (state_ == TcpState::kTimeWait) enter_time_wait();
+        if (peer_fin_seq_ && tracker_.rcv_nxt() > *peer_fin_seq_) {
+          enter_time_wait();
+        } else {
+          set_state(TcpState::kFinWait2);
+        }
         break;
       case TcpState::kClosing:
         enter_time_wait();
@@ -686,12 +742,12 @@ void TcpConnection::process_fin(const Segment& seg) {
 void TcpConnection::process_fin_transition() {
   switch (state_) {
     case TcpState::kEstablished:
-      state_ = TcpState::kCloseWait;
+      set_state(TcpState::kCloseWait);
       if (callbacks_.on_peer_closed) callbacks_.on_peer_closed();
       break;
     case TcpState::kFinWait1:
       // Our FIN not yet acked (otherwise we'd be in FIN-WAIT-2).
-      state_ = TcpState::kClosing;
+      set_state(TcpState::kClosing);
       if (callbacks_.on_peer_closed) callbacks_.on_peer_closed();
       break;
     case TcpState::kFinWait2:

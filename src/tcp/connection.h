@@ -15,6 +15,7 @@
 #include "tcp/rtt_estimator.h"
 #include "tcp/segment.h"
 #include "tcp/tuple.h"
+#include "trace/event.h"
 
 namespace riptide::tcp {
 
@@ -51,8 +52,9 @@ struct ConnectionStats {
 // and RFC 2861 slow-start-after-idle (what makes reused-but-idle connections
 // also benefit from Riptide's route windows).
 //
-// Loss recovery simplifications vs Linux (documented in DESIGN.md): no SACK
-// (NewReno partial-ACK retransmission), go-back-N after an RTO, no HyStart.
+// Loss recovery simplifications vs Linux (documented in DESIGN.md): SACK is
+// opt-in via TcpConfig::sack (NewReno partial-ACK retransmission otherwise),
+// go-back-N after an RTO, no HyStart.
 class TcpConnection {
  public:
   // Outbound segment dispatch. A bare function pointer plus context word
@@ -175,6 +177,15 @@ class TcpConnection {
   void enter_established();
   void enter_time_wait();
   void teardown(bool reset);
+
+  // -- decision-audit tracing (src/trace) --
+  // All state_ writes funnel through set_state so every RFC 793
+  // transition is observable; trace_cwnd snapshots the controller after a
+  // window-changing entry point, tagged with why it was called. Both are
+  // no-ops costing one thread-local load when no sink is installed.
+  void set_state(TcpState next);
+  void trace_cwnd(trace::CwndCause cause);
+  trace::ConnKey trace_key() const;
 
   sim::Simulator& sim_;
   TcpConfig config_;

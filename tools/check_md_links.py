@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Check markdown links without network access (CI docs-lint job).
+
+For every given .md file (or every tracked .md under the repo root when
+none are given) this validates:
+
+  * inline links/images `[text](target)` whose target is a relative path:
+    the referenced file must exist (anchors are split off first);
+  * intra-file anchors `[text](#section)`: a heading with the matching
+    GitHub-style slug must exist in the same file.
+
+External links (http/https/mailto) are deliberately not fetched — CI must
+not depend on the network — but their syntax still has to parse.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link: `file:line: message`).
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading):
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path):
+    anchors = set()
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING.match(line)
+            if match:
+                anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def check_file(path, anchor_cache):
+    errors = []
+    base = os.path.dirname(os.path.abspath(path))
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):
+                    if path not in anchor_cache:
+                        anchor_cache[path] = collect_anchors(path)
+                    if target[1:].lower() not in anchor_cache[path]:
+                        errors.append(
+                            f"{path}:{lineno}: no heading for anchor "
+                            f"'{target}'")
+                    continue
+                file_part = target.split("#", 1)[0]
+                resolved = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{path}:{lineno}: broken link '{target}' "
+                        f"(no {resolved})")
+    return errors
+
+
+def main():
+    paths = sys.argv[1:]
+    if not paths:
+        for root, dirs, files in os.walk("."):
+            dirs[:] = [d for d in dirs
+                       if not d.startswith(".") and d != "build"]
+            paths.extend(os.path.join(root, f) for f in files
+                         if f.endswith(".md"))
+        paths.sort()
+    anchor_cache = {}
+    errors = []
+    for path in paths:
+        errors.extend(check_file(path, anchor_cache))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(paths)} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,4 +47,16 @@ ctest --test-dir build-ci-asan -L persist --output-on-failure \
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
 
+# Docs lint: every relative markdown link must resolve (offline check; no
+# network fetches in CI).
+echo "==== docs lint ===="
+python3 tools/check_md_links.py
+
+# Trace smoke: one traced run through the CLI, then schema/order
+# validation of the emitted JSONL.
+echo "==== trace smoke ===="
+./build-ci-release/tools/riptide_sim --pops 3 --duration 20 --seed 7 \
+  --trace build-ci-release/trace_ci.jsonl
+python3 tools/trace_report.py build-ci-release/trace_ci.jsonl --check
+
 echo "CI passed."

@@ -12,10 +12,15 @@
 //               [--combiner avg|max|weighted] [--prefix-granularity]
 //               [--probe-interval SECONDS] [--wan-loss P] [--organic POP]
 //               [--pacing] [--threads N] [--sweep-seeds A,B,C]
+//               [--trace PATH.jsonl] [--trace-ring N]
 //
 // With --sweep-seeds, the same scenario is run once per seed — fanned
 // across --threads workers (default: one per hardware thread) — and a
 // per-seed summary plus seed-merged percentiles are printed.
+//
+// --trace enables the decision-audit layer (src/trace) and writes the
+// JSONL event stream to PATH after the run; "{label}" / "{index}" in PATH
+// expand per run in a sweep. Render it with tools/trace_report.py.
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +56,8 @@ struct Options {
                "  [--interval S] [--ttl S] [--combiner avg|max|weighted]\n"
                "  [--prefix-granularity] [--probe-interval S]\n"
                "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n"
-               "  [--threads N] [--sweep-seeds A,B,C]\n",
+               "  [--threads N] [--sweep-seeds A,B,C]\n"
+               "  [--trace PATH.jsonl] [--trace-ring N]\n",
                argv0);
   std::exit(2);
 }
@@ -112,6 +118,13 @@ Options parse(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(need_value(i))));
     } else if (arg == "--pacing") {
       opt.config.topology.host_tcp.pacing = true;
+    } else if (arg == "--trace") {
+      opt.config.trace.enabled = true;
+      opt.config.trace.export_path = need_value(i);
+    } else if (arg == "--trace-ring") {
+      opt.config.trace.ring_capacity =
+          static_cast<std::size_t>(std::atoll(need_value(i)));
+      if (opt.config.trace.ring_capacity == 0) usage(argv[0]);
     } else if (arg == "--threads") {
       opt.threads = static_cast<unsigned>(std::atoi(need_value(i)));
     } else if (arg == "--sweep-seeds") {
@@ -163,6 +176,15 @@ int main(int argc, char** argv) {
                            .run(runner::SweepSpec(opt.config)
                                     .seeds(seeds)
                                     .materialize());
+
+  for (const auto& r : results) {
+    const auto* sink = r.experiment->trace_sink();
+    if (sink == nullptr) continue;
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(sink->emitted()),
+                static_cast<unsigned long long>(sink->dropped()),
+                r.experiment->config().trace.export_path.c_str());
+  }
 
   if (results.size() == 1) {
     print_summary(*results.front().experiment);

@@ -1,0 +1,25 @@
+# ctest driver for the traced-run smoke: run one small fig6-style transfer
+# scenario through the CLI with --trace, then validate the JSONL with
+# trace_report.py --check. Invoked from tools/CMakeLists.txt with
+# -DSIM_CLI=... -DPYTHON=... -DREPORT=... -DOUT_DIR=...
+
+set(trace_file "${OUT_DIR}/trace_smoke.jsonl")
+
+execute_process(
+  COMMAND "${SIM_CLI}" --pops 3 --duration 20 --seed 7
+          --trace "${trace_file}"
+  RESULT_VARIABLE sim_rc)
+if(NOT sim_rc EQUAL 0)
+  message(FATAL_ERROR "riptide_sim --trace failed (rc=${sim_rc})")
+endif()
+
+if(NOT EXISTS "${trace_file}")
+  message(FATAL_ERROR "traced run produced no ${trace_file}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${REPORT}" "${trace_file}" --check
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "trace_report.py --check rejected ${trace_file}")
+endif()
