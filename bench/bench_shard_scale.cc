@@ -1,0 +1,307 @@
+// bench_shard_scale — the sharded (PDES) engine and the hybrid-fidelity
+// cross-traffic model, measured.
+//
+// Two sections:
+//
+//   1. Shard scaling: one fixed multi-PoP world run under the sharded
+//      engine at 1/2/4/8 worker shards. Reports events/sec and wall
+//      seconds per shard count, plus a metrics digest that must be
+//      identical across counts (the engine's determinism contract; the
+//      authoritative check is ShardedDeterminismTest).
+//
+//   2. Hybrid fidelity: a ~million-cross-flow workload simulated twice —
+//      full packet-level (organic TCP transfers) vs flow-level fluid
+//      aggregates (flow/flow_traffic.h) — with identical probe meshes.
+//      Reports the event-count ratio (the whole point of hybrid fidelity:
+//      the fluid model costs ~2 events per cross flow instead of 2 per
+//      *packet*) and the probe completion percentiles under both, which
+//      must agree within noise.
+//
+// Usage: bench_shard_scale [--quick] [--json]
+//   --quick   scale durations/rates down ~10x for CI smoke (the emitted
+//             numbers are then not comparable with the checked-in
+//             BENCH_shard.json)
+//   --json    print the machine-readable JSON document on stdout after
+//             the human-readable summary (redirect as needed)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cdn/experiment.h"
+#include "cdn/pops.h"
+#include "stats/cdf.h"
+#include "stats/perf.h"
+
+namespace {
+
+using namespace riptide;
+using sim::Time;
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Order-insensitive digest of the probe flow records: equal digests across
+// shard counts is the cheap in-bench echo of the fingerprint invariant.
+std::uint64_t metrics_digest(const cdn::Experiment& exp) {
+  std::uint64_t d = 0xcbf29ce484222325ull;
+  for (const auto& f : exp.metrics().flows()) {
+    d ^= static_cast<std::uint64_t>(f.duration.ns()) +
+         static_cast<std::uint64_t>(f.started.ns()) * 1315423911ull +
+         f.object_bytes;
+    d *= 0x100000001b3ull;
+  }
+  return d;
+}
+
+struct RunCost {
+  std::uint64_t events = 0;
+  std::uint64_t wire_packets = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t flow_arrivals = 0;
+  double wall_seconds = 0;
+};
+
+// Runs one experiment and captures the perf-counter deltas. Sharded runs
+// fold worker-thread counters into the caller, so the deltas cover the
+// whole execution either way.
+RunCost run_and_measure(cdn::Experiment& exp) {
+  const perf::Counters before = perf::local();
+  const double t0 = wall_now();
+  exp.run();
+  RunCost cost;
+  cost.wall_seconds = wall_now() - t0;
+  const perf::Counters delta = perf::local().delta_since(before);
+  cost.events = delta.events_dispatched;
+  cost.wire_packets = delta.shard_wire_packets;
+  cost.windows = delta.shard_windows;
+  cost.flow_arrivals = delta.flow_level_flows;
+  return cost;
+}
+
+double probe_p(const cdn::Experiment& exp, std::uint64_t size, double pct) {
+  const auto cdf = exp.metrics().completion_cdf(
+      [=](const cdn::FlowRecord& f) { return f.object_bytes == size; });
+  return cdf.empty() ? 0.0 : cdf.percentile(pct);
+}
+
+// -- Section 1: shard scaling world ----------------------------------------
+
+cdn::ExperimentConfig scaling_config(bool quick) {
+  cdn::ExperimentConfig config;
+  const auto& all = cdn::default_pop_specs();
+  config.pop_specs.assign(all.begin(), all.begin() + 8);
+  config.topology.hosts_per_pop = 2;
+  config.topology.wan_loss_probability = 2e-4;
+  config.riptide_enabled = true;
+  config.riptide.update_interval = Time::seconds(1);
+  config.probe.interval = Time::seconds(2);
+  config.probe.idle_close = Time::seconds(10);
+  config.duration = quick ? Time::seconds(30) : Time::seconds(180);
+  config.cwnd_sample_interval = Time::seconds(15);
+  config.seed = 7;
+  return config;
+}
+
+// -- Section 2: million-cross-flow world -----------------------------------
+//
+// 4 PoPs, full probe mesh, cross traffic on all 12 directed WAN pairs.
+// Packet level: one organic TCP source per PoP pushing size-distributed
+// transfers to random peers. Hybrid: the fluid model at the same flow
+// arrival rate and mean size per link. Sizes are kept small (~27 KB mean)
+// so the packet-level side stays runnable; a million 27 KB flows is still
+// ~45 packet events per flow vs ~2 fluid events.
+
+constexpr double kFullFlowsPerLink = 139.0;  // x 12 links x 600 s ~ 1.0M
+constexpr double kMeanFlowBytes = 27e3;
+
+cdn::ExperimentConfig hybrid_base(bool quick) {
+  cdn::ExperimentConfig config;
+  const auto& all = cdn::default_pop_specs();
+  config.pop_specs.assign(all.begin(), all.begin() + 4);
+  config.topology.hosts_per_pop = 1;
+  config.topology.wan_loss_probability = 2e-4;
+  // Riptide learning is OFF for the fidelity comparison: agents would
+  // harvest windows from the packet-level organic connections (Fig 11),
+  // which the fluid model deliberately does not create — that's a modeling
+  // boundary, not noise, and it would swamp the congestion comparison the
+  // hybrid model is accountable for.
+  config.riptide_enabled = false;
+  config.probe.interval = Time::seconds(5);
+  config.probe.idle_close = Time::seconds(10);
+  config.duration = quick ? Time::seconds(60) : Time::seconds(600);
+  config.cwnd_sample_interval = Time::seconds(30);
+  config.seed = 11;
+  return config;
+}
+
+cdn::ExperimentConfig packet_level_config(bool quick) {
+  cdn::ExperimentConfig config = hybrid_base(quick);
+  // Organic sources are per-PoP and pick a random destination per
+  // transfer, so a per-link rate of F means a per-source rate of
+  // F * (pops - 1).
+  cdn::OrganicSourceConfig organic;
+  organic.mean_interarrival_seconds = 1.0 / (kFullFlowsPerLink * 3);
+  // Two-component lognormal with ~27 KB mean — same mean the fluid model
+  // below is given, so both runs offer the same load.
+  cdn::FileSizeDistribution::Params sizes;
+  sizes.weight_small = 0.5;
+  sizes.mu_small = 8.006;      // ln(3000)
+  sizes.sigma_small = 1.0;
+  sizes.mu_large = 10.309;     // ln(30000)
+  sizes.sigma_large = 1.0;
+  sizes.max_bytes = 10ull * 1024 * 1024;
+  organic.sizes = cdn::FileSizeDistribution(sizes);
+  config.organic = organic;
+  config.organic_source_pops = {0, 1, 2, 3};
+  return config;
+}
+
+cdn::ExperimentConfig hybrid_config(bool quick) {
+  cdn::ExperimentConfig config = hybrid_base(quick);
+  config.flow_traffic.enabled = true;  // all PoPs by default
+  config.flow_traffic.model.flows_per_second = kFullFlowsPerLink;
+  config.flow_traffic.model.mean_flow_bytes = kMeanFlowBytes;
+  config.flow_traffic.model.pareto_alpha = 0.0;  // exponential sizes
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json]\n", argv[0]);
+      return 2;
+    }
+  }
+#ifdef __OPTIMIZE__
+  const char* build = "optimized";
+#else
+  const char* build = "unoptimized";
+  std::fprintf(stderr, "WARNING: unoptimized build; numbers are "
+                       "meaningless. Use -DCMAKE_BUILD_TYPE=Release.\n");
+#endif
+
+  // ---- Section 1: shard scaling ----
+  std::printf("== shard scaling: 8 PoPs x 2 hosts, %s ==\n",
+              quick ? "30 s (quick)" : "180 s");
+  std::printf("  %7s %14s %12s %10s %8s %18s\n", "shards", "events",
+              "events/sec", "wall s", "windows", "digest");
+  struct ScaleRow {
+    std::size_t shards;
+    RunCost cost;
+    std::uint64_t digest;
+  };
+  std::vector<ScaleRow> scale_rows;
+  bool digests_match = true;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                             std::size_t{8}}) {
+    cdn::ExperimentConfig config = scaling_config(quick);
+    config.sharding.enabled = true;
+    config.sharding.shards = shards;
+    cdn::Experiment exp(config);
+    const RunCost cost = run_and_measure(exp);
+    const std::uint64_t digest = metrics_digest(exp);
+    if (!scale_rows.empty() && digest != scale_rows.front().digest) {
+      digests_match = false;
+    }
+    std::printf("  %7zu %14llu %12.0f %10.3f %8llu   %016llx\n", shards,
+                static_cast<unsigned long long>(cost.events),
+                static_cast<double>(cost.events) / cost.wall_seconds,
+                cost.wall_seconds,
+                static_cast<unsigned long long>(cost.windows),
+                static_cast<unsigned long long>(digest));
+    scale_rows.push_back({shards, cost, digest});
+  }
+  std::printf("  metrics digests %s across shard counts\n",
+              digests_match ? "IDENTICAL" : "DIVERGED (BUG)");
+
+  // ---- Section 2: hybrid fidelity ----
+  std::printf("\n== hybrid fidelity: 4 PoPs, ~%s cross flows, %s ==\n",
+              quick ? "100k" : "1M", quick ? "60 s (quick)" : "600 s");
+
+  cdn::ExperimentConfig pkt_config = packet_level_config(quick);
+  cdn::Experiment pkt(pkt_config);
+  const RunCost pkt_cost = run_and_measure(pkt);
+  std::uint64_t pkt_flows = 0;
+  for (const auto& src : pkt.organic_sources()) {
+    pkt_flows += src->transfers_started();
+  }
+
+  cdn::ExperimentConfig hyb_config = hybrid_config(quick);
+  cdn::Experiment hyb(hyb_config);
+  const RunCost hyb_cost = run_and_measure(hyb);
+  std::uint64_t hyb_flows = 0;
+  for (const auto& load : hyb.flow_loads()) {
+    hyb_flows += load->flows_started();
+  }
+
+  const double ratio = hyb_cost.events > 0
+                           ? static_cast<double>(pkt_cost.events) /
+                                 static_cast<double>(hyb_cost.events)
+                           : 0.0;
+  std::printf("  %-14s %14s %12s %10s %10s %10s\n", "fidelity", "events",
+              "cross flows", "wall s", "p50 100KB", "p90 100KB");
+  std::printf("  %-14s %14llu %12llu %10.2f %10.0f %10.0f\n", "packet-level",
+              static_cast<unsigned long long>(pkt_cost.events),
+              static_cast<unsigned long long>(pkt_flows),
+              pkt_cost.wall_seconds, probe_p(pkt, 100'000, 50),
+              probe_p(pkt, 100'000, 90));
+  std::printf("  %-14s %14llu %12llu %10.2f %10.0f %10.0f\n", "hybrid",
+              static_cast<unsigned long long>(hyb_cost.events),
+              static_cast<unsigned long long>(hyb_flows),
+              hyb_cost.wall_seconds, probe_p(hyb, 100'000, 50),
+              probe_p(hyb, 100'000, 90));
+  std::printf("  packet-level / hybrid event ratio: %.1fx (target >= 5x)\n",
+              ratio);
+
+  if (json) {
+    std::printf("{\"bench\":\"shard_scale\",\"build\":\"%s\",\"quick\":%s,"
+                "\"scaling\":[",
+                build, quick ? "true" : "false");
+    for (std::size_t i = 0; i < scale_rows.size(); ++i) {
+      const ScaleRow& r = scale_rows[i];
+      std::printf("%s{\"shards\":%zu,\"events\":%llu,"
+                  "\"events_per_sec\":%.0f,\"wall_seconds\":%.3f,"
+                  "\"windows\":%llu,\"wire_packets\":%llu}",
+                  i == 0 ? "" : ",", r.shards,
+                  static_cast<unsigned long long>(r.cost.events),
+                  static_cast<double>(r.cost.events) / r.cost.wall_seconds,
+                  r.cost.wall_seconds,
+                  static_cast<unsigned long long>(r.cost.windows),
+                  static_cast<unsigned long long>(r.cost.wire_packets));
+    }
+    std::printf("],\"digests_match\":%s,\"hybrid\":{"
+                "\"packet_level\":{\"events\":%llu,\"cross_flows\":%llu,"
+                "\"wall_seconds\":%.2f,\"probe_p50_ms\":%.1f,"
+                "\"probe_p90_ms\":%.1f},"
+                "\"flow_level\":{\"events\":%llu,\"cross_flows\":%llu,"
+                "\"wall_seconds\":%.2f,\"probe_p50_ms\":%.1f,"
+                "\"probe_p90_ms\":%.1f,\"fluid_arrivals\":%llu},"
+                "\"event_ratio\":%.2f}}\n",
+                digests_match ? "true" : "false",
+                static_cast<unsigned long long>(pkt_cost.events),
+                static_cast<unsigned long long>(pkt_flows),
+                pkt_cost.wall_seconds, probe_p(pkt, 100'000, 50),
+                probe_p(pkt, 100'000, 90),
+                static_cast<unsigned long long>(hyb_cost.events),
+                static_cast<unsigned long long>(hyb_flows),
+                hyb_cost.wall_seconds, probe_p(hyb, 100'000, 50),
+                probe_p(hyb, 100'000, 90),
+                static_cast<unsigned long long>(hyb_cost.flow_arrivals),
+                ratio);
+  }
+  return digests_match ? 0 : 1;
+}

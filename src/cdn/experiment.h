@@ -12,13 +12,41 @@
 #include "cdn/traffic.h"
 #include "core/agent.h"
 #include "core/config.h"
+#include "flow/flow_traffic.h"
+#include "net/wire.h"
+#include "sim/shard.h"
 #include "sim/simulator.h"
 #include "stats/cdf.h"
 #include "trace/sink.h"
 
+#include <deque>
+
 namespace riptide::cdn {
 
 class Experiment;
+
+// Opt-in sharded (parallel discrete-event) execution. When enabled, the
+// experiment is built one simulation cell per PoP and run under the
+// conservative window protocol of sim::ShardSet, with `shards` worker
+// threads. The default (disabled) path is byte-identical to previous
+// releases; the sharded fingerprint is its own golden value, invariant
+// under `shards` (see tests/determinism_test.cc).
+struct ShardingConfig {
+  bool enabled = false;
+  // Worker threads the per-PoP cells round-robin onto. Must be in
+  // [1, pop count].
+  std::size_t shards = 1;
+};
+
+// Hybrid-fidelity cross-traffic: fluid (flow-level) background load on WAN
+// links while probe/organic traffic stays packet-level. One
+// flow::FlowLevelLoad per outgoing WAN link of each source PoP.
+struct FlowCrossTrafficConfig {
+  bool enabled = false;
+  // PoPs whose outgoing WAN links carry the fluid aggregate; empty = all.
+  std::vector<std::size_t> source_pops{};
+  flow::FlowTrafficConfig model{};
+};
 
 // A complete closed-loop scenario: the simulated CDN, probe mesh, optional
 // organic traffic, optional Riptide agents on every host, and the periodic
@@ -42,6 +70,9 @@ struct ExperimentConfig {
   OrganicSourceConfig organic{};
 
   sim::Time duration = sim::Time::minutes(3);
+
+  ShardingConfig sharding{};
+  FlowCrossTrafficConfig flow_traffic{};
 
   // §IV-B1: windows of established connections sampled periodically (the
   // paper samples each minute over 12 h; scaled-down runs sample faster).
@@ -78,8 +109,21 @@ class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
 
-  // Runs the scenario for config.duration of simulated time.
+  // Runs the scenario for config.duration of simulated time. A sharded
+  // experiment (config.sharding.enabled) can run at most once: its cells
+  // drain their pending events on the worker threads before they exit.
   void run();
+
+  bool sharded() const { return shards_ != nullptr; }
+  // Sharded runs only; null otherwise.
+  sim::ShardSet* shard_set() { return shards_.get(); }
+  const std::vector<std::unique_ptr<flow::FlowLevelLoad>>& flow_loads()
+      const {
+    return flow_loads_;
+  }
+  const std::vector<std::unique_ptr<OrganicSource>>& organic_sources() const {
+    return organic_sources_;
+  }
 
   const MetricsCollector& metrics() const { return metrics_; }
   Topology& topology() { return *topology_; }
@@ -108,19 +152,33 @@ class Experiment {
 
  private:
   void build();
+  void build_sharded();
+  void run_sharded();
 
   ExperimentConfig config_;
+  // Monolithic event loop; in sharded mode it stays idle during the run
+  // and is advanced to config.duration afterwards so simulator().now() is
+  // meaningful either way.
   sim::Simulator sim_;
   std::unique_ptr<sim::Rng> rng_;
+  // Sharded engine state. Declared before topology_/clients/agents so it
+  // is destroyed after everything that references the cells.
+  std::unique_ptr<sim::ShardSet> shards_;
+  std::unique_ptr<net::WireFabric> fabric_;
+  std::deque<sim::Rng> cell_rngs_;            // traffic streams, per cell
+  std::deque<MetricsCollector> cell_metrics_;  // recorded per cell, merged
   std::unique_ptr<Topology> topology_;
   MetricsCollector metrics_;
   std::vector<std::unique_ptr<ProbeServer>> probe_servers_;
   std::vector<std::unique_ptr<SinkServer>> sink_servers_;
   std::vector<std::unique_ptr<ProbeClient>> probe_clients_;
   std::vector<std::unique_ptr<OrganicSource>> organic_sources_;
+  std::vector<std::unique_ptr<flow::FlowLevelLoad>> flow_loads_;
   std::vector<std::unique_ptr<core::RiptideAgent>> agents_;
   std::shared_ptr<void> extension_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
+  std::vector<std::unique_ptr<trace::TraceSink>> cell_trace_;
+  bool ran_sharded_ = false;
 };
 
 // Percentile-by-percentile improvement of `treatment` over `baseline`

@@ -1,0 +1,59 @@
+#include "cdn/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cdn/geo.h"
+
+namespace riptide::cdn {
+
+std::vector<std::size_t> ShardPartition::cells_of_worker(
+    std::size_t w) const {
+  std::vector<std::size_t> out;
+  for (std::size_t c = w; c < cells; c += workers) out.push_back(c);
+  return out;
+}
+
+ShardPartition partition_pops(const std::vector<PopSpec>& specs,
+                              double path_inflation, std::size_t workers) {
+  if (specs.empty()) {
+    throw std::invalid_argument("partition_pops: no PoPs");
+  }
+  if (workers == 0 || workers > specs.size()) {
+    throw std::invalid_argument(
+        "partition_pops: workers must be in [1, pops]");
+  }
+
+  ShardPartition part;
+  part.cells = specs.size();
+  part.workers = workers;
+  part.cell_of_pop.resize(part.cells);
+  part.worker_of_cell.resize(part.cells);
+  for (std::size_t i = 0; i < part.cells; ++i) {
+    part.cell_of_pop[i] = i;
+    part.worker_of_cell[i] = i % workers;
+  }
+
+  // Minimum over all *directed* pairs; propagation_delay is symmetric, but
+  // scanning both directions keeps the invariant literal.
+  sim::Time min_delay = sim::Time::hours(24);
+  for (std::size_t i = 0; i < part.cells; ++i) {
+    for (std::size_t j = 0; j < part.cells; ++j) {
+      if (i == j) continue;
+      min_delay = std::min(
+          min_delay, propagation_delay(specs[i].location, specs[j].location,
+                                       path_inflation));
+    }
+  }
+  if (part.cells > 1 && min_delay <= sim::Time::zero()) {
+    throw std::invalid_argument(
+        "partition_pops: co-located PoPs leave no lookahead");
+  }
+  // Degenerate one-PoP world: nothing ever crosses a cell boundary, any
+  // positive window works; one millisecond keeps the barrier count sane.
+  part.lookahead =
+      part.cells == 1 ? sim::Time::milliseconds(1) : min_delay;
+  return part;
+}
+
+}  // namespace riptide::cdn

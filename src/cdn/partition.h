@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cdn/pops.h"
+#include "sim/time.h"
+
+namespace riptide::cdn {
+
+// Static placement of one topology onto the sharded simulation engine
+// (sim::ShardSet) — computed once up front so it can be validated, tested,
+// and reported independently of the run.
+//
+// The unit of partitioning is the PoP: every PoP becomes exactly one
+// simulation cell (its router, hosts, LAN links, and the transmitter ends
+// of its outgoing WAN links), and cells round-robin onto worker threads.
+// Fixing the cell set independently of the worker count — rather than
+// carving the topology into `workers` super-cells — is what makes the
+// fixed-seed fingerprint invariant under --shards: each cell's event
+// stream, sequence numbers, and Rng draws are the same whether its worker
+// runs one cell or eight.
+struct ShardPartition {
+  std::size_t cells = 0;    // == number of PoPs
+  std::size_t workers = 0;  // threads the cells are mapped onto
+
+  // cell_of_pop[i] == i by construction; kept explicit so tests assert the
+  // exhaustive-and-disjoint property rather than assuming it.
+  std::vector<std::size_t> cell_of_pop;
+  // worker_of_cell[c] == c % workers.
+  std::vector<std::size_t> worker_of_cell;
+
+  // Conservative synchronization window: the minimum WAN propagation delay
+  // over all directed PoP pairs. Any packet crossing cells is in flight at
+  // least this long (serialization only adds), so windows of this length
+  // never deliver into a cell's past. Deliberately the inter-*cell*
+  // minimum, not the inter-*worker* minimum: a worker-dependent window
+  // would move the barrier timestamps when --shards changes and break
+  // fingerprint invariance.
+  sim::Time lookahead;
+
+  // Cells owned by worker `w` (ascending).
+  std::vector<std::size_t> cells_of_worker(std::size_t w) const;
+};
+
+// Builds the placement for `specs` onto `workers` threads. Preconditions:
+// specs non-empty, 1 <= workers <= specs.size(), and no two PoPs are
+// co-located (lookahead must be positive for the window protocol to make
+// progress). `path_inflation` must match TopologyConfig::path_inflation so
+// the lookahead agrees with the delays the topology actually builds.
+ShardPartition partition_pops(const std::vector<PopSpec>& specs,
+                              double path_inflation, std::size_t workers);
+
+}  // namespace riptide::cdn

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "net/wire.h"
+
 #include "sim/random.h"
 #include "stats/perf.h"
 #include "trace/sink.h"
@@ -21,8 +23,23 @@ Link::Link(sim::Simulator& sim, Config config, PacketSink& sink, sim::Rng* rng)
 }
 
 sim::Time Link::transmission_time(std::uint32_t bytes) const {
-  return sim::Time::from_seconds(static_cast<double>(bytes) * 8.0 /
-                                 config_.rate_bps);
+  double rate = config_.rate_bps;
+  if (background_bps_ > 0.0) {
+    // Residual capacity under the fluid cross-traffic aggregate, floored
+    // so a saturating aggregate slows packet traffic ~100x rather than
+    // producing infinite serialization times.
+    rate = std::max(rate - background_bps_, rate * 0.01);
+  }
+  return sim::Time::from_seconds(static_cast<double>(bytes) * 8.0 / rate);
+}
+
+void Link::set_background_load(double offered_bps,
+                               std::size_t queue_packets) {
+  if (offered_bps < 0.0) {
+    throw std::invalid_argument("Link::set_background_load: negative rate");
+  }
+  background_bps_ = offered_bps;
+  background_queue_ = queue_packets;
 }
 
 void Link::set_rate_bps(double rate_bps) {
@@ -96,7 +113,15 @@ void Link::receive(const Packet& packet) {
   }
 
   prune_completed();
-  if (completions_.size() >= config_.queue_packets) {
+  std::size_t capacity = config_.queue_packets;
+  if (background_queue_ > 0) {
+    // Fluid cross-traffic occupies part of the buffer; packet traffic
+    // contends for the residue (never less than one slot, so the link
+    // stays usable even under a standing overload).
+    capacity = background_queue_ < capacity ? capacity - background_queue_
+                                            : std::size_t{1};
+  }
+  if (completions_.size() >= capacity) {
     ++stats_.drops_queue_full;
     return;
   }
@@ -111,6 +136,16 @@ void Link::receive(const Packet& packet) {
   auto& perf = perf::local();
   ++perf.packets_queued;
   perf.bytes_queued += packet.size_bytes;
+
+  if (remote_ != nullptr) {
+    // Shard boundary: delivery happens on another cell, injected at the
+    // next window barrier. Delivery is certain once the wire copy is
+    // queued, so account it here where the stats live.
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += packet.size_bytes;
+    remote_->push(done + config_.propagation_delay, packet);
+    return;
+  }
 
   sim_.schedule_at(done + config_.propagation_delay, [this, packet] {
     ++stats_.packets_delivered;

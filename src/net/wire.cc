@@ -1,0 +1,66 @@
+#include "net/wire.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "stats/perf.h"
+
+namespace riptide::net {
+
+void WireChannel::push(sim::Time deliver_at, const Packet& packet) {
+  Entry entry;
+  entry.deliver_at = deliver_at;
+  entry.packet.src = packet.src;
+  entry.packet.dst = packet.dst;
+  entry.packet.size_bytes = packet.size_bytes;
+  if (packet.payload) {
+    Payload* clone = packet.payload->wire_clone();
+    if (clone == nullptr) {
+      throw std::logic_error(
+          "WireChannel: payload kind cannot cross a shard boundary");
+    }
+    entry.packet.payload = PayloadRef(clone);
+  }
+  entries_.push_back(std::move(entry));
+  ++total_pushed_;
+  ++perf::local().shard_wire_packets;
+}
+
+void WireChannel::flush_into(sim::Simulator& sim) {
+  if (entries_.empty()) return;
+  PacketSink* sink = sink_;
+  for (Entry& entry : entries_) {
+    sim.schedule_at(entry.deliver_at,
+                    [sink, packet = std::move(entry.packet)] {
+                      sink->receive(packet);
+                    });
+  }
+  entries_.clear();
+}
+
+WireFabric::WireFabric(std::size_t cells)
+    : cells_(cells), channels_(cells * cells) {}
+
+WireChannel& WireFabric::channel(std::size_t src, std::size_t dst) {
+  return channels_.at(src * cells_ + dst);
+}
+
+const WireChannel& WireFabric::channel(std::size_t src,
+                                       std::size_t dst) const {
+  return channels_.at(src * cells_ + dst);
+}
+
+void WireFabric::flush_to(std::size_t dst, sim::Simulator& sim) {
+  for (std::size_t src = 0; src < cells_; ++src) {
+    if (src == dst) continue;
+    channel(src, dst).flush_into(sim);
+  }
+}
+
+std::uint64_t WireFabric::total_pushed() const {
+  std::uint64_t total = 0;
+  for (const WireChannel& ch : channels_) total += ch.total_pushed();
+  return total;
+}
+
+}  // namespace riptide::net

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace riptide::net {
+
+// Shard-boundary packet transport for the sharded simulator (sim/shard.h).
+//
+// A WireChannel is the mailbox for one ordered (source cell, destination
+// cell) pair. The source cell's boundary Link pushes during its window
+// phase; the destination cell drains at the next window barrier. The two
+// phases never overlap (the barrier separates them), so the channel needs
+// no locking — it is an SPSC queue whose handoff is the barrier itself.
+//
+// Ownership rule (the determinism/ASan boundary): pooled payloads are
+// confined to the thread that allocated them, so push() stores a
+// wire_clone() — a heap-owned by-value copy with no pool affiliation — and
+// drops the original reference on the sending side. The destination side
+// is then free to retire the clone on whichever thread runs its cell.
+class WireChannel {
+ public:
+  struct Entry {
+    sim::Time deliver_at;  // absolute delivery timestamp, computed at
+                           // admission on the source cell
+    Packet packet;         // payload is a wire_clone, never pool-owned
+  };
+
+  // Destination of every packet in this channel (the far PoP's router).
+  // Set once at topology build time.
+  void set_sink(PacketSink* sink) { sink_ = sink; }
+  PacketSink* sink() const { return sink_; }
+
+  // Source side, window phase only. Throws if the payload cannot cross a
+  // shard boundary (no wire_clone). Null payloads travel as-is.
+  void push(sim::Time deliver_at, const Packet& packet);
+
+  // Destination side, barrier phase only: schedules one delivery event per
+  // entry onto `sim` (entries keep source-FIFO order; the simulator's
+  // timestamp heap re-orders by deliver_at) and empties the channel.
+  // Precondition: every deliver_at >= sim.now(), which the conservative
+  // window protocol guarantees (window length <= min propagation delay).
+  void flush_into(sim::Simulator& sim);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t total_pushed() const { return total_pushed_; }
+
+ private:
+  PacketSink* sink_ = nullptr;
+  std::vector<Entry> entries_;
+  std::uint64_t total_pushed_ = 0;
+};
+
+// All cell-pair channels of one sharded topology: a dense cells x cells
+// matrix (diagonal unused). Flush order is fixed — ascending source cell —
+// so the sequence numbers injected events draw from the destination cell's
+// queue are identical no matter how cells are mapped onto worker threads.
+// That fixed order is what makes the fingerprint shard-count-invariant.
+class WireFabric {
+ public:
+  explicit WireFabric(std::size_t cells);
+
+  std::size_t cells() const { return cells_; }
+  WireChannel& channel(std::size_t src, std::size_t dst);
+  const WireChannel& channel(std::size_t src, std::size_t dst) const;
+
+  // Barrier phase for destination cell `dst`: drains every channel
+  // (*, dst) in ascending source order onto `sim`. Called only by the
+  // worker that owns `dst`.
+  void flush_to(std::size_t dst, sim::Simulator& sim);
+
+  // Packets ever pushed across any channel (diagnostic; also mirrored in
+  // perf::Counters::shard_wire_packets).
+  std::uint64_t total_pushed() const;
+
+ private:
+  std::size_t cells_;
+  std::vector<WireChannel> channels_;  // [src * cells_ + dst]
+};
+
+}  // namespace riptide::net

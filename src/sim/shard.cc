@@ -1,0 +1,221 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "stats/perf.h"
+
+namespace riptide::sim {
+namespace {
+
+// Central barrier with a latched stop decision.
+//
+// The continue/stop choice after a barrier MUST be a property of the
+// crossing, not a post-crossing read of a mutable flag. The race that
+// rules out the naive `arrive_and_wait(); if (failed) break;`: the last
+// arriver returns immediately, runs the whole next phase, fails, sets the
+// flag, and parks at the *next* barrier — all before a slow waiter of the
+// previous barrier has even woken from the condvar. The slow waiter then
+// reads `failed == true` one barrier early, breaks, and leaves the fast
+// worker waiting forever (observed as a 2-thread join/condvar deadlock in
+// ShardSetTest.PropagatesCellExceptions under load).
+//
+// So the last arriver samples the stop source exactly once, under the
+// barrier mutex, and every thread of that generation returns the same
+// sampled value: all workers take identical break decisions at identical
+// crossings, whatever the flag does concurrently. (This is std::barrier's
+// completion-step idiom; with at most a handful of workers per simulated
+// window a mutex + condvar is plenty, and sidesteps any cleverness in the
+// platform's tree barrier.)
+class WindowBarrier {
+ public:
+  WindowBarrier(std::size_t parties, const std::atomic<bool>& stop_source)
+      : parties_(parties), stop_source_(stop_source) {}
+
+  // Returns true when this crossing decided to stop. A waiter cannot read
+  // a later generation's latch: with parties >= 2 the next generation
+  // cannot complete until this waiter arrives at it, and with parties == 1
+  // there are no waiters.
+  bool arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      latched_stop_ = stop_source_.load(std::memory_order_acquire);
+      ++generation_;
+      cv_.notify_all();
+      return latched_stop_;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+    return latched_stop_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  const std::atomic<bool>& stop_source_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  bool latched_stop_ = false;
+};
+
+}  // namespace
+
+struct ShardSet::RunState {
+  explicit RunState(std::size_t workers) : barrier(workers, failed) {}
+
+  // Set by a worker that caught an exception, always before it arrives at
+  // the next barrier. Workers never read it directly: the barrier latches
+  // it once per crossing (see WindowBarrier), which is what makes the
+  // stop decision uniform across workers.
+  std::atomic<bool> failed{false};
+  WindowBarrier barrier;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::atomic<std::uint64_t> executed{0};
+  // Spawned workers fold their thread-local perf deltas in here (under
+  // error_mu); the caller accumulates the sum into its own counters.
+  perf::Counters worker_perf;
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error) first_error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  }
+};
+
+ShardSet::ShardSet(std::size_t cells, std::size_t workers, Time window)
+    : workers_(workers), window_(window) {
+  if (cells == 0) {
+    throw std::invalid_argument("ShardSet: need at least one cell");
+  }
+  if (workers == 0 || workers > cells) {
+    throw std::invalid_argument("ShardSet: workers must be in [1, cells]");
+  }
+  if (window <= Time::zero()) {
+    throw std::invalid_argument("ShardSet: window must be positive");
+  }
+  cells_.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    cells_.push_back(std::make_unique<Simulator>());
+  }
+}
+
+void ShardSet::worker_loop(std::size_t worker, Time deadline,
+                           std::uint64_t windows) {
+  RunState& run = *run_;
+  const auto in_scope = [&](std::size_t cell,
+                            const std::function<void()>& body) {
+    if (scope_) {
+      scope_(cell, body);
+    } else {
+      body();
+    }
+  };
+
+  std::uint64_t ran = 0;
+  for (std::uint64_t k = 1; k <= windows; ++k) {
+    const Time window_end = std::min(window_ * static_cast<std::int64_t>(k),
+                                     deadline);
+    // Phase A: inject everything other cells sent during the previous
+    // window. Mailboxes are quiescent here — their producers are parked at
+    // the same barrier we just left.
+    try {
+      if (flush_) {
+        for (std::size_t c = worker; c < cells_.size(); c += workers_) {
+          in_scope(c, [&] { flush_(c, *cells_[c]); });
+        }
+      }
+    } catch (...) {
+      run.record_error();
+    }
+    if (run.barrier.arrive_and_wait()) break;
+
+    // Phase B: advance each owned cell to the end of the window. Cells on
+    // one worker are independent (they interact only via mailboxes), so
+    // their relative execution order is irrelevant; ascending order keeps
+    // it tidy.
+    try {
+      for (std::size_t c = worker; c < cells_.size(); c += workers_) {
+        in_scope(c, [&] { ran += cells_[c]->run_until(window_end); });
+      }
+    } catch (...) {
+      run.record_error();
+    }
+    if (worker == 0) ++perf::local().shard_windows;
+    if (run.barrier.arrive_and_wait()) break;
+  }
+
+  // Drain owned cells before this thread's SegmentPool disappears: pending
+  // callbacks can capture pooled segments, and those must retire on the
+  // thread that allocated them. Only the last drain on a *spawned* worker
+  // can expect an empty pool (worker 0 is the caller's thread, whose pool
+  // may serve other simulations).
+  std::vector<std::size_t> owned;
+  for (std::size_t c = worker; c < cells_.size(); c += workers_) {
+    owned.push_back(c);
+  }
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const bool last_on_spawned_worker = worker != 0 && i + 1 == owned.size();
+    cells_[owned[i]]->drop_pending(last_on_spawned_worker
+                                       ? Simulator::PoolCheck::kAssertEmpty
+                                       : Simulator::PoolCheck::kSkip);
+  }
+
+  run.executed.fetch_add(ran, std::memory_order_relaxed);
+}
+
+std::uint64_t ShardSet::run_until(Time deadline) {
+  if (run_ != nullptr) {
+    throw std::logic_error("ShardSet::run_until: already running");
+  }
+  const std::int64_t window_ns = window_.ns();
+  const std::uint64_t windows =
+      deadline <= Time::zero()
+          ? 0
+          : static_cast<std::uint64_t>((deadline.ns() + window_ns - 1) /
+                                       window_ns);
+
+  RunState run(workers_);
+  run_ = &run;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads.emplace_back([this, w, deadline, windows, &run] {
+      const perf::Counters before = perf::local();
+      try {
+        worker_loop(w, deadline, windows);
+      } catch (...) {
+        // worker_loop catches per-phase; anything surfacing here (e.g. a
+        // scope hook throwing outside a phase try) still must not escape
+        // the thread.
+        run.record_error();
+      }
+      const perf::Counters delta = perf::local().delta_since(before);
+      std::lock_guard<std::mutex> lock(run.error_mu);
+      run.worker_perf.accumulate(delta);
+    });
+  }
+
+  worker_loop(0, deadline, windows);
+  for (std::thread& t : threads) t.join();
+  run_ = nullptr;
+
+  // Fold spawned workers' activity into the caller's thread-local counters
+  // so callers measuring `delta_since` around this run see the whole
+  // sharded execution, same as a monolithic one.
+  perf::local().accumulate(run.worker_perf);
+
+  if (run.first_error) std::rethrow_exception(run.first_error);
+  return run.executed.load(std::memory_order_relaxed);
+}
+
+}  // namespace riptide::sim

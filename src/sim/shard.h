@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace riptide::sim {
+
+// Conservative time-windowed parallel driver for a set of simulation cells.
+//
+// A *cell* is one independently-clocked Simulator plus everything scheduled
+// on it (in the CDN experiment: one PoP — its router, hosts, agents, and the
+// transmitter ends of its outgoing WAN links). Cells interact only through
+// mailboxes flushed at window barriers, never by touching each other's
+// objects directly.
+//
+// The cell is the unit of *determinism*; the worker thread is only the unit
+// of *execution*. The cell set, each cell's event stream, and the window
+// length are all fixed by the topology — `workers` merely round-robins the
+// cells onto OS threads (cell c runs on worker c % workers, for the whole
+// run, so pooled segments allocated while running a cell always retire on
+// the thread that allocated them). Because nothing a cell computes depends
+// on which worker hosts it, the fingerprint of a run is invariant under the
+// worker count — the property golden_determinism locks for shards 1/2/4.
+//
+// Window protocol. Let L = window(). Simulated time is cut into windows
+// ((k-1)L, kL]; each window runs in two phases separated by barriers:
+//
+//   Phase A (flush):  every worker, for each of its cells, invokes the
+//                     flush hook, which drains the cell's incoming
+//                     mailboxes (ascending source-cell order) into its
+//                     event queue.            -- barrier --
+//   Phase B (run):    every worker runs each of its cells to min(kL,
+//                     deadline).              -- barrier --
+//
+// Safety argument: L must not exceed the minimum latency of any cross-cell
+// mailbox path (for the CDN topology, the minimum inter-PoP propagation
+// delay — serialization only adds to it). A packet pushed during window k-1
+// was admitted at some s <= (k-1)L and carries deliver_at >= s' + L where
+// s' > (k-2)L is its serialization completion, so deliver_at > (k-1)L: every
+// entry flushed at the window-k barrier lands strictly inside or after the
+// window about to run, never in a cell's past.
+//
+// The barriers are also the memory fences: a mailbox is written by exactly
+// one worker during Phase B and read by exactly one worker during the next
+// Phase A, so the channels need no locks and payload refcounts can stay
+// non-atomic.
+class ShardSet {
+ public:
+  // Flush hook: drain cell `cell`'s incoming mailboxes into `sim`. Runs on
+  // the worker owning the cell, during Phase A. Installed once before run.
+  using FlushHook = std::function<void(std::size_t cell, Simulator& sim)>;
+
+  // Scope hook: wraps every slice of cell work (both phases) so callers
+  // can install per-cell thread-local context — the trace sink, notably —
+  // around `body`. Must invoke `body` exactly once. Defaults to plain
+  // invocation.
+  using ScopeHook =
+      std::function<void(std::size_t cell, const std::function<void()>& body)>;
+
+  // Preconditions: cells >= 1, 1 <= workers <= cells, window > 0.
+  ShardSet(std::size_t cells, std::size_t workers, Time window);
+
+  std::size_t cells() const { return cells_.size(); }
+  std::size_t workers() const { return workers_; }
+  Time window() const { return window_; }
+
+  Simulator& cell(std::size_t i) { return *cells_[i]; }
+  const Simulator& cell(std::size_t i) const { return *cells_[i]; }
+
+  // Worker that executes cell `i`'s events for the whole run.
+  std::size_t worker_of(std::size_t i) const { return i % workers_; }
+
+  void set_flush_hook(FlushHook hook) { flush_ = std::move(hook); }
+  void set_cell_scope(ScopeHook hook) { scope_ = std::move(hook); }
+
+  // Runs every cell to `deadline` under the window protocol above. The
+  // calling thread acts as worker 0; workers-1 threads are spawned for the
+  // rest and joined before returning. Before a spawned worker exits, it
+  // drains its cells' pending events (Simulator::drop_pending) so pooled
+  // segments captured in not-yet-run callbacks return to that worker's
+  // thread-local pool while it still exists, and asserts (debug builds)
+  // that the pool is empty afterwards. Worker 0's cells are drained too,
+  // without the assert (the caller's thread-local pool may serve other
+  // simulations). Spawned workers' perf counters are folded into the
+  // caller's thread-local counters so delta-based reporting sees the whole
+  // run. An exception thrown by any cell stops all workers at the next
+  // barrier and is rethrown here (first one wins).
+  //
+  // Returns the total number of events executed across all cells.
+  std::uint64_t run_until(Time deadline);
+
+ private:
+  void worker_loop(std::size_t worker, Time deadline, std::uint64_t windows);
+
+  std::size_t workers_;
+  Time window_;
+  std::vector<std::unique_ptr<Simulator>> cells_;
+  FlushHook flush_;
+  ScopeHook scope_;
+
+  // Per-run shared state; only valid inside run_until.
+  struct RunState;
+  RunState* run_ = nullptr;
+};
+
+}  // namespace riptide::sim

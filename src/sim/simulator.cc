@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cassert>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -51,7 +52,7 @@ void Simulator::cancel_event(std::uint32_t slot, std::uint32_t gen) {
   maybe_compact();
 }
 
-void Simulator::drop_pending() {
+void Simulator::drop_pending(PoolCheck check) {
   heap_.clear();
   cancelled_ = 0;
   // Rebuild the free list from scratch: every slot is released exactly
@@ -66,6 +67,13 @@ void Simulator::drop_pending() {
     rec.interval = Time::zero();
     free_slots_.push_back(slot);
   }
+  // Destroying the callbacks released their SegmentRefs; nothing else in
+  // this simulation holds pooled segments (connections only hold them
+  // transiently inside events), so the thread-local pool gauge must read
+  // zero — any residue is a segment about to escape across a thread.
+  assert(check == PoolCheck::kSkip ||
+         perf::local().segment_pool_live == 0);
+  (void)check;
 }
 
 void Simulator::maybe_compact() {

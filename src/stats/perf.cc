@@ -22,6 +22,9 @@ Counters Counters::delta_since(const Counters& before) const {
   d.events_dispatched = events_dispatched - before.events_dispatched;
   d.packets_queued = packets_queued - before.packets_queued;
   d.bytes_queued = bytes_queued - before.bytes_queued;
+  d.shard_windows = shard_windows - before.shard_windows;
+  d.shard_wire_packets = shard_wire_packets - before.shard_wire_packets;
+  d.flow_level_flows = flow_level_flows - before.flow_level_flows;
   return d;
 }
 
@@ -37,17 +40,22 @@ void Counters::accumulate(const Counters& other) {
   events_dispatched += other.events_dispatched;
   packets_queued += other.packets_queued;
   bytes_queued += other.bytes_queued;
+  shard_windows += other.shard_windows;
+  shard_wire_packets += other.shard_wire_packets;
+  flow_level_flows += other.flow_level_flows;
 }
 
 std::string to_json(const Counters& c) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof buf,
       "{\"segments_allocated\":%llu,\"segments_recycled\":%llu,"
       "\"segment_heap_allocs\":%llu,\"sack_heap_spills\":%llu,"
       "\"segment_pool_live\":%llu,\"segment_pool_high_water\":%llu,"
       "\"segment_pool_free\":%llu,\"events_dispatched\":%llu,"
-      "\"packets_queued\":%llu,\"bytes_queued\":%llu}",
+      "\"packets_queued\":%llu,\"bytes_queued\":%llu,"
+      "\"shard_windows\":%llu,\"shard_wire_packets\":%llu,"
+      "\"flow_level_flows\":%llu}",
       static_cast<unsigned long long>(c.segments_allocated),
       static_cast<unsigned long long>(c.segments_recycled),
       static_cast<unsigned long long>(c.segment_heap_allocs),
@@ -57,23 +65,31 @@ std::string to_json(const Counters& c) {
       static_cast<unsigned long long>(c.segment_pool_free),
       static_cast<unsigned long long>(c.events_dispatched),
       static_cast<unsigned long long>(c.packets_queued),
-      static_cast<unsigned long long>(c.bytes_queued));
+      static_cast<unsigned long long>(c.bytes_queued),
+      static_cast<unsigned long long>(c.shard_windows),
+      static_cast<unsigned long long>(c.shard_wire_packets),
+      static_cast<unsigned long long>(c.flow_level_flows));
   return buf;
 }
 
 std::string to_run_json(const Counters& c) {
-  char buf[320];
+  char buf[512];
   std::snprintf(
       buf, sizeof buf,
       "{\"segments_allocated\":%llu,\"segments_recycled\":%llu,"
       "\"sack_heap_spills\":%llu,\"events_dispatched\":%llu,"
-      "\"packets_queued\":%llu,\"bytes_queued\":%llu}",
+      "\"packets_queued\":%llu,\"bytes_queued\":%llu,"
+      "\"shard_windows\":%llu,\"shard_wire_packets\":%llu,"
+      "\"flow_level_flows\":%llu}",
       static_cast<unsigned long long>(c.segments_allocated),
       static_cast<unsigned long long>(c.segments_recycled),
       static_cast<unsigned long long>(c.sack_heap_spills),
       static_cast<unsigned long long>(c.events_dispatched),
       static_cast<unsigned long long>(c.packets_queued),
-      static_cast<unsigned long long>(c.bytes_queued));
+      static_cast<unsigned long long>(c.bytes_queued),
+      static_cast<unsigned long long>(c.shard_windows),
+      static_cast<unsigned long long>(c.shard_wire_packets),
+      static_cast<unsigned long long>(c.flow_level_flows));
   return buf;
 }
 

@@ -36,6 +36,15 @@ struct Counters {
   std::uint64_t packets_queued = 0;     // packets admitted to link queues
   std::uint64_t bytes_queued = 0;       // bytes admitted to link queues
 
+  // -- sharded execution (sim/shard.h, net/wire.h) --
+  std::uint64_t shard_windows = 0;       // conservative windows executed
+  std::uint64_t shard_wire_packets = 0;  // packets cloned across a shard
+                                         // mailbox (never SegmentRefs)
+
+  // -- hybrid fidelity (src/flow) --
+  std::uint64_t flow_level_flows = 0;  // cross-traffic flows simulated at
+                                       // flow level (no packet events)
+
   // Counts subtract `before`; gauges keep this (the "after") value — a
   // high-water mark is not meaningfully differenced.
   Counters delta_since(const Counters& before) const;

@@ -79,7 +79,11 @@ def main() -> int:
     rows = []
     for key in shared:
         if a[key] == 0.0:
-            delta = "n/a" if b[key] != 0.0 else "+0.0%"
+            # A zero baseline has no meaningful percentage — neither 0 -> 0
+            # (a counter that never fired, e.g. segment_heap_allocs after
+            # the pool landed) nor 0 -> n (infinite growth). Report n/a and
+            # let the absolute columns speak.
+            delta = "n/a"
         else:
             delta = f"{(b[key] - a[key]) / a[key] * 100.0:+.1f}%"
         rows.append((key, fmt(a[key]), fmt(b[key]), delta))

@@ -44,8 +44,34 @@ echo "==== persist suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L persist --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The shard label (sharded PDES engine, wire channels, fluid cross-traffic,
+# sharded determinism) re-runs under the sanitizers: races, lost barrier
+# wakeups, and pooled segments crossing a shard boundary alive are exactly
+# the bugs ASan/TSan-shaped instrumentation turns from flaky to loud.
+echo "==== shard suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L shard --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
+
+# Hotpath bench diff (informational, never a gate): zero baselines render
+# as "n/a" rows, and bench_diff.py always exits 0 — `|| true` guards only
+# against the bench itself failing to run.
+echo "==== hotpath bench diff vs checked-in baseline ===="
+./build-ci-release/bench/bench_micro --hotpath-json \
+  > build-ci-release/BENCH_hotpath.ci.json
+python3 tools/bench_diff.py BENCH_hotpath.json \
+  build-ci-release/BENCH_hotpath.ci.json || true
+
+# Shard bench (informational): quick mode keeps CI short; the JSON's
+# hardware-independent facts — identical event totals per shard count and
+# the hybrid/packet event ratio — are what reviewers read.
+echo "==== shard scaling + hybrid fidelity bench (quick) ===="
+./build-ci-release/bench/bench_shard_scale --quick --json \
+  | tail -1 > build-ci-release/BENCH_shard.ci.json
+python3 tools/bench_diff.py BENCH_shard.json \
+  build-ci-release/BENCH_shard.ci.json || true
 
 # Docs lint: every relative markdown link must resolve (offline check; no
 # network fetches in CI).

@@ -13,6 +13,7 @@
 //               [--probe-interval SECONDS] [--wan-loss P] [--organic POP]
 //               [--pacing] [--threads N] [--sweep-seeds A,B,C]
 //               [--trace PATH.jsonl] [--trace-ring N]
+//               [--shards N] [--flow-traffic FLOWS_PER_SEC]
 //
 // With --sweep-seeds, the same scenario is run once per seed — fanned
 // across --threads workers (default: one per hardware thread) — and a
@@ -21,11 +22,18 @@
 // --trace enables the decision-audit layer (src/trace) and writes the
 // JSONL event stream to PATH after the run; "{label}" / "{index}" in PATH
 // expand per run in a sweep. Render it with tools/trace_report.py.
+//
+// --shards N runs the sharded (PDES) engine: the topology's PoPs become
+// cells synchronized by conservative time windows, mapped onto N worker
+// threads. The fingerprint is shard-count-invariant, so any N gives the
+// same metrics. --flow-traffic F adds fluid (flow-level) cross-traffic at
+// F flows/sec per WAN link instead of simulating those packets.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cdn/experiment.h"
@@ -45,6 +53,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool riptide = true;
   unsigned threads = 0;
+  std::size_t shards = 0;  // 0 = monolithic engine
   std::vector<std::uint64_t> sweep_seeds;
   cdn::ExperimentConfig config;
 };
@@ -57,7 +66,16 @@ struct Options {
                "  [--prefix-granularity] [--probe-interval S]\n"
                "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n"
                "  [--threads N] [--sweep-seeds A,B,C]\n"
-               "  [--trace PATH.jsonl] [--trace-ring N]\n",
+               "  [--trace PATH.jsonl] [--trace-ring N]\n"
+               "  [--shards N] [--flow-traffic FLOWS_PER_SEC]\n"
+               "\n"
+               "  --shards N        run the sharded (PDES) engine on N worker\n"
+               "                    threads; one cell per PoP, so N must not\n"
+               "                    exceed the PoP/host count. Metrics are\n"
+               "                    identical for every N (fixed seed).\n"
+               "  --flow-traffic F  fluid cross-traffic, F flows/sec per WAN\n"
+               "                    link (flow-level FCT model; probe flows\n"
+               "                    stay packet-level).\n",
                argv0);
   std::exit(2);
 }
@@ -127,6 +145,15 @@ Options parse(int argc, char** argv) {
       if (opt.config.trace.ring_capacity == 0) usage(argv[0]);
     } else if (arg == "--threads") {
       opt.threads = static_cast<unsigned>(std::atoi(need_value(i)));
+    } else if (arg == "--shards") {
+      const int n = std::atoi(need_value(i));
+      if (n <= 0) usage(argv[0]);
+      opt.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--flow-traffic") {
+      const double fps = std::atof(need_value(i));
+      if (fps <= 0.0) usage(argv[0]);
+      opt.config.flow_traffic.enabled = true;
+      opt.config.flow_traffic.model.flows_per_second = fps;
     } else if (arg == "--sweep-seeds") {
       const char* p = need_value(i);
       while (*p != '\0') {
@@ -162,15 +189,45 @@ int main(int argc, char** argv) {
   opt.config.duration = sim::Time::from_seconds(opt.duration_s);
   opt.config.seed = opt.seed;
 
+  if (opt.shards > 0) {
+    // Cells are fixed at one per PoP; worker shards only map cells onto
+    // threads, so more shards than PoPs (and a fortiori than hosts) has
+    // nothing to run.
+    const std::size_t total_hosts =
+        opt.pops * static_cast<std::size_t>(opt.hosts);
+    if (opt.shards > opt.pops || opt.shards > total_hosts) {
+      std::fprintf(stderr,
+                   "--shards %zu exceeds the world: %zu PoPs, %zu hosts "
+                   "(shards must be <= the PoP count)\n",
+                   opt.shards, opt.pops, total_hosts);
+      return 2;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw != 0 && opt.shards > hw) {
+      std::fprintf(stderr,
+                   "warning: --shards %zu > %u hardware threads; workers "
+                   "will time-slice (results are identical, just slower)\n",
+                   opt.shards, hw);
+    }
+    opt.config.sharding.enabled = true;
+    opt.config.sharding.shards = opt.shards;
+  }
+
   std::vector<std::uint64_t> seeds =
       opt.sweep_seeds.empty() ? std::vector<std::uint64_t>{opt.seed}
                               : opt.sweep_seeds;
 
   std::printf("riptide_sim: %zu PoPs x %d hosts, %.0f s simulated, "
-              "riptide=%s, %zu seed(s) on %u worker(s)\n",
+              "riptide=%s, %zu seed(s) on %u worker(s)",
               opt.pops, opt.hosts, opt.duration_s,
               opt.riptide ? "on" : "off", seeds.size(),
               runner::effective_threads(opt.threads, seeds.size()));
+  if (opt.shards > 0) std::printf(", engine=sharded(%zu)", opt.shards);
+  if (opt.config.flow_traffic.enabled) {
+    std::printf(", flow-traffic=%.0f/s",
+                opt.config.flow_traffic.model.flows_per_second);
+  }
+  std::printf("\n");
 
   const auto results = runner::ParallelRunner(opt.threads)
                            .run(runner::SweepSpec(opt.config)
