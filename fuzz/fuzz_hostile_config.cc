@@ -1,0 +1,37 @@
+// libFuzzer target for the two user-facing config grammars added with the
+// policy zoo: the hostile-scenario spec (parse_hostile_spec) and the
+// initcwnd policy name (parse_policy). Every input either parses or is
+// rejected with std::invalid_argument — any other escape (crash, another
+// exception type, runaway allocation) is a finding.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cdn/hostile.h"
+#include "policy/policy.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Both grammars are short command-line tokens; huge inputs only slow
+  // the fuzzer down without reaching new states.
+  if (size > 1024) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto hostile = riptide::cdn::parse_hostile_spec(text);
+    (void)hostile.kind;
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path.
+  }
+  try {
+    const auto policy = riptide::policy::parse_policy(text);
+    // A successful parse must round-trip through its canonical name.
+    if (riptide::policy::parse_policy(riptide::policy::to_string(policy))
+            .kind != policy.kind) {
+      __builtin_trap();
+    }
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -97,6 +97,10 @@ void Experiment::build() {
     }
   }
 
+  // Adversarial traffic sources (incast fan-in, flash crowds). Gated so
+  // a kNone config is bit-identical to previous releases.
+  if (config_.hostile.kind != HostileKind::kNone) build_hostile();
+
   // Fluid cross-traffic on the WAN links of the designated source PoPs
   // (hybrid fidelity; see flow/flow_traffic.h). Gated so a disabled config
   // is bit-identical to previous releases.
@@ -154,6 +158,64 @@ void Experiment::build() {
   if (config_.extension_factory) {
     extension_ = config_.extension_factory(*this);
   }
+  for (const auto& factory : config_.extension_factories) {
+    if (factory) extensions_.push_back(factory(*this));
+  }
+}
+
+// Hostile traffic shapes (src/cdn/hostile.h). The shallow-buffer half of
+// kShallowBuffer/kCombined lives in the topology config (apply at
+// config-construction time by shrinking wan_queue_packets); this builds
+// the traffic half.
+void Experiment::build_hostile() {
+  Topology& topo = *topology_;
+  const std::size_t n = topo.pop_count();
+  const HostileConfig& hostile = config_.hostile;
+  const int hosts_per_pop = config_.topology.hosts_per_pop;
+
+  const bool incast = hostile.kind == HostileKind::kIncast ||
+                      hostile.kind == HostileKind::kCombined;
+  const bool crowd = hostile.kind == HostileKind::kFlashCrowd ||
+                     hostile.kind == HostileKind::kCombined;
+
+  if (incast) {
+    if (hostile.victim_pop >= n) {
+      throw std::invalid_argument("Experiment: hostile victim_pop out of range");
+    }
+    std::vector<net::Ipv4Address> victims;
+    for (int h = 0; h < hosts_per_pop; ++h) {
+      victims.push_back(
+          topo.host(hostile.victim_pop, static_cast<std::size_t>(h))
+              .address());
+    }
+    for (std::size_t pop = 0; pop < n; ++pop) {
+      if (pop == hostile.victim_pop) continue;
+      for (int h = 0; h < hosts_per_pop; ++h) {
+        incast_sources_.push_back(std::make_unique<IncastSource>(
+            sim_, topo.host(pop, static_cast<std::size_t>(h)), victims,
+            config_.organic.sink_port, hostile));
+        incast_sources_.back()->start();
+      }
+    }
+  }
+
+  if (crowd) {
+    for (std::size_t pop = 0; pop < n; ++pop) {
+      for (int h = 0; h < hosts_per_pop; ++h) {
+        std::vector<net::Ipv4Address> targets;
+        for (std::size_t dst = 0; dst < n; ++dst) {
+          if (dst == pop) continue;
+          targets.push_back(
+              topo.host(dst, static_cast<std::size_t>(h % hosts_per_pop))
+                  .address());
+        }
+        flash_crowd_sources_.push_back(std::make_unique<FlashCrowdSource>(
+            sim_, topo.host(pop, static_cast<std::size_t>(h)),
+            std::move(targets), config_.organic.sink_port, hostile));
+        flash_crowd_sources_.back()->start();
+      }
+    }
+  }
 }
 
 // Sharded twin of build(): the same construction loops in the same order,
@@ -170,13 +232,19 @@ void Experiment::build_sharded() {
         "Experiment: sharding.shards must be in [1, pop count]");
   }
   if (config_.route_programmer_factory || config_.socket_stats_factory ||
-      config_.extension_factory) {
+      config_.extension_factory || !config_.extension_factories.empty()) {
     // The factories hand out objects bound to "the" simulator and are used
     // by fault/persistence harnesses that mutate state from outside the
     // cells; neither has a sound meaning across shard boundaries.
     throw std::invalid_argument(
         "Experiment: dependency-injection factories are not supported with "
         "sharding");
+  }
+  if (config_.hostile.kind != HostileKind::kNone) {
+    // A synchronized wave crossing every shard boundary in the same
+    // instant is exactly what the conservative window cannot express.
+    throw std::invalid_argument(
+        "Experiment: hostile scenarios are not supported with sharding");
   }
 
   const ShardPartition part = partition_pops(

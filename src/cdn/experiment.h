@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "cdn/hostile.h"
 #include "cdn/metrics.h"
 #include "cdn/pops.h"
 #include "cdn/probe.h"
@@ -74,6 +75,13 @@ struct ExperimentConfig {
   ShardingConfig sharding{};
   FlowCrossTrafficConfig flow_traffic{};
 
+  // Adversarial scenario (src/cdn/hostile.h). kNone (the default) adds
+  // nothing and is bit-identical to previous releases; the shallow-buffer
+  // variants also shrink topology.wan_queue_packets (see apply_hostile in
+  // riptide_sim / bench_policy_zoo, which mutate the topology before
+  // construction). Not supported with sharding.
+  HostileConfig hostile{};
+
   // §IV-B1: windows of established connections sampled periodically (the
   // paper samples each minute over 12 h; scaled-down runs sample faster).
   sim::Time cwnd_sample_interval = sim::Time::seconds(15);
@@ -103,6 +111,13 @@ struct ExperimentConfig {
   // Called once at the end of build(), after agents exist and started; the
   // result is retained for the experiment's lifetime (see extension()).
   std::function<std::shared_ptr<void>(Experiment&)> extension_factory;
+  // Additional extensions, run after extension_factory in vector order.
+  // Unlike the single slot above — which faults::FaultHarness::install
+  // claims for itself — these compose: policy installers (src/policy) and
+  // a fault harness can ride the same experiment. Results are retained
+  // for the experiment's lifetime (see extensions()).
+  std::vector<std::function<std::shared_ptr<void>(Experiment&)>>
+      extension_factories;
 };
 
 class Experiment {
@@ -124,6 +139,13 @@ class Experiment {
   const std::vector<std::unique_ptr<OrganicSource>>& organic_sources() const {
     return organic_sources_;
   }
+  const std::vector<std::unique_ptr<IncastSource>>& incast_sources() const {
+    return incast_sources_;
+  }
+  const std::vector<std::unique_ptr<FlashCrowdSource>>& flash_crowd_sources()
+      const {
+    return flash_crowd_sources_;
+  }
 
   const MetricsCollector& metrics() const { return metrics_; }
   Topology& topology() { return *topology_; }
@@ -138,6 +160,10 @@ class Experiment {
   // Whatever extension_factory attached (e.g. a faults::FaultHarness);
   // null when no factory was configured.
   const std::shared_ptr<void>& extension() const { return extension_; }
+  // Results of extension_factories, in factory order.
+  const std::vector<std::shared_ptr<void>>& extensions() const {
+    return extensions_;
+  }
 
   // The decision-audit sink, or null when config.trace.enabled is false.
   // Populated only while/after run() executes on this experiment.
@@ -152,6 +178,7 @@ class Experiment {
 
  private:
   void build();
+  void build_hostile();
   void build_sharded();
   void run_sharded();
 
@@ -173,9 +200,12 @@ class Experiment {
   std::vector<std::unique_ptr<SinkServer>> sink_servers_;
   std::vector<std::unique_ptr<ProbeClient>> probe_clients_;
   std::vector<std::unique_ptr<OrganicSource>> organic_sources_;
+  std::vector<std::unique_ptr<IncastSource>> incast_sources_;
+  std::vector<std::unique_ptr<FlashCrowdSource>> flash_crowd_sources_;
   std::vector<std::unique_ptr<flow::FlowLevelLoad>> flow_loads_;
   std::vector<std::unique_ptr<core::RiptideAgent>> agents_;
   std::shared_ptr<void> extension_;
+  std::vector<std::shared_ptr<void>> extensions_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
   std::vector<std::unique_ptr<trace::TraceSink>> cell_trace_;
   bool ran_sharded_ = false;

@@ -1,0 +1,224 @@
+#include "cdn/hostile.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+
+#include "tcp/connection.h"
+
+namespace riptide::cdn {
+
+const char* to_string(HostileKind kind) {
+  switch (kind) {
+    case HostileKind::kNone: return "none";
+    case HostileKind::kShallowBuffer: return "shallow-buffer";
+    case HostileKind::kIncast: return "incast";
+    case HostileKind::kFlashCrowd: return "flash-crowd";
+    case HostileKind::kCombined: return "combined";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& why) {
+  throw std::invalid_argument("parse_hostile_spec: " + why);
+}
+
+// Full-match numeric parsing: trailing garbage after the number is an
+// error, not silently ignored — this grammar is a fuzz surface and every
+// malformed input must land on the same typed exception.
+std::uint64_t parse_u64(const std::string& text, std::uint64_t max) {
+  if (text.empty()) bad_spec("empty numeric value");
+  for (char c : text) {
+    if (c < '0' || c > '9') bad_spec("bad integer '" + text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size() || value > max) {
+    bad_spec("integer out of range '" + text + "'");
+  }
+  return value;
+}
+
+sim::Time parse_time_seconds(const std::string& text) {
+  if (text.empty()) bad_spec("empty time value");
+  errno = 0;
+  char* end = nullptr;
+  const double seconds = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size() ||
+      !std::isfinite(seconds) || seconds < 0.0 || seconds > 1e6) {
+    bad_spec("bad time '" + text + "'");
+  }
+  return sim::Time::from_seconds(seconds);
+}
+
+}  // namespace
+
+HostileConfig parse_hostile_spec(const std::string& spec) {
+  HostileConfig config;
+  const auto colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  if (name == "none") {
+    config.kind = HostileKind::kNone;
+  } else if (name == "shallow-buffer") {
+    config.kind = HostileKind::kShallowBuffer;
+  } else if (name == "incast") {
+    config.kind = HostileKind::kIncast;
+  } else if (name == "flash-crowd") {
+    config.kind = HostileKind::kFlashCrowd;
+  } else if (name == "combined") {
+    config.kind = HostileKind::kCombined;
+  } else {
+    bad_spec("unknown scenario '" + name + "'");
+  }
+  if (colon == std::string::npos) return config;
+
+  std::string rest = spec.substr(colon + 1);
+  if (rest.empty()) bad_spec("empty option list");
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string pair = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec("expected key=value, got '" + pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string value = pair.substr(eq + 1);
+    if (key == "queue") {
+      config.queue_packets = parse_u64(value, 1u << 20);
+      if (config.queue_packets == 0) bad_spec("queue must be >= 1");
+    } else if (key == "victim") {
+      config.victim_pop = parse_u64(value, 1023);
+    } else if (key == "fanin") {
+      config.fanin_connections = static_cast<int>(parse_u64(value, 10'000));
+      if (config.fanin_connections == 0) bad_spec("fanin must be >= 1");
+    } else if (key == "burst") {
+      config.burst_bytes = parse_u64(value, 1'000'000'000'000ull);
+    } else if (key == "start") {
+      config.incast_start = parse_time_seconds(value);
+    } else if (key == "interval") {
+      config.incast_interval = parse_time_seconds(value);
+      if (config.incast_interval <= sim::Time::zero()) {
+        bad_spec("interval must be > 0");
+      }
+    } else if (key == "at") {
+      config.crowd_at = parse_time_seconds(value);
+    } else if (key == "conns") {
+      config.crowd_connections = static_cast<int>(parse_u64(value, 10'000));
+      if (config.crowd_connections == 0) bad_spec("conns must be >= 1");
+    } else if (key == "bytes") {
+      config.crowd_bytes = parse_u64(value, 1'000'000'000'000ull);
+    } else if (key == "repeats") {
+      config.crowd_repeats = static_cast<int>(parse_u64(value, 1'000));
+      if (config.crowd_repeats == 0) bad_spec("repeats must be >= 1");
+    } else if (key == "period") {
+      config.crowd_period = parse_time_seconds(value);
+      if (config.crowd_period <= sim::Time::zero()) {
+        bad_spec("period must be > 0");
+      }
+    } else {
+      bad_spec("unknown option '" + key + "'");
+    }
+  }
+  return config;
+}
+
+namespace {
+
+// Open one fresh connection, push `bytes` once established, then close.
+// Fresh-per-burst is the whole scenario: every connection reads the
+// route's initcwnd at SYN time. The holder keeps the connection pointer
+// alive for the callback without a use-after-free if establishment loses
+// to teardown (the host owns the connection either way).
+void launch_burst(host::Host& host, net::Ipv4Address target,
+                  std::uint16_t port, std::uint64_t bytes) {
+  auto holder = std::make_shared<tcp::TcpConnection*>(nullptr);
+  tcp::TcpConnection::Callbacks cbs;
+  cbs.on_established = [holder, bytes] {
+    if (*holder == nullptr) return;
+    (*holder)->send(bytes);
+    (*holder)->close();
+  };
+  cbs.on_closed = [holder](bool /*reset*/) { *holder = nullptr; };
+  *holder = &host.connect(target, port, std::move(cbs));
+}
+
+}  // namespace
+
+IncastSource::IncastSource(sim::Simulator& sim, host::Host& host,
+                           std::vector<net::Ipv4Address> victims,
+                           std::uint16_t sink_port,
+                           const HostileConfig& config)
+    : sim_(sim),
+      host_(host),
+      victims_(std::move(victims)),
+      sink_port_(sink_port),
+      config_(config) {}
+
+void IncastSource::start() {
+  if (started_ || victims_.empty()) return;
+  started_ = true;
+  // Absolute phase: every IncastSource computes the same schedule, so the
+  // waves from every source host land at the victim in the same instant.
+  const sim::Time delay = config_.incast_start > sim_.now()
+                              ? config_.incast_start - sim_.now()
+                              : sim::Time::zero();
+  sim_.schedule(delay, [this] { fire_wave(); });
+}
+
+void IncastSource::fire_wave() {
+  ++waves_;
+  for (int i = 0; i < config_.fanin_connections; ++i) {
+    launch(victims_[next_victim_], config_.burst_bytes);
+    next_victim_ = (next_victim_ + 1) % victims_.size();
+  }
+  sim_.schedule(config_.incast_interval, [this] { fire_wave(); });
+}
+
+void IncastSource::launch(net::Ipv4Address target, std::uint64_t bytes) {
+  ++connections_;
+  bytes_queued_ += bytes;
+  launch_burst(host_, target, sink_port_, bytes);
+}
+
+FlashCrowdSource::FlashCrowdSource(sim::Simulator& sim, host::Host& host,
+                                   std::vector<net::Ipv4Address> targets,
+                                   std::uint16_t sink_port,
+                                   const HostileConfig& config)
+    : sim_(sim),
+      host_(host),
+      targets_(std::move(targets)),
+      sink_port_(sink_port),
+      config_(config) {}
+
+void FlashCrowdSource::start() {
+  if (started_ || targets_.empty()) return;
+  started_ = true;
+  const sim::Time delay = config_.crowd_at > sim_.now()
+                              ? config_.crowd_at - sim_.now()
+                              : sim::Time::zero();
+  sim_.schedule(delay, [this] { fire_wave(); });
+}
+
+void FlashCrowdSource::fire_wave() {
+  ++waves_;
+  for (int i = 0; i < config_.crowd_connections; ++i) {
+    launch(targets_[next_target_], config_.crowd_bytes);
+    next_target_ = (next_target_ + 1) % targets_.size();
+  }
+  if (waves_ < static_cast<std::uint64_t>(config_.crowd_repeats)) {
+    sim_.schedule(config_.crowd_period, [this] { fire_wave(); });
+  }
+}
+
+void FlashCrowdSource::launch(net::Ipv4Address target, std::uint64_t bytes) {
+  ++connections_;
+  bytes_queued_ += bytes;
+  launch_burst(host_, target, sink_port_, bytes);
+}
+
+}  // namespace riptide::cdn

@@ -58,15 +58,40 @@ RiptideAgent::RiptideAgent(sim::Simulator& sim, host::Host& host,
     throw std::invalid_argument(
         "RiptideAgent: governor_rollback_retrans_fraction outside [0, 1]");
   }
+  if (config_.governor_stage_scale_factor <= 0.0 ||
+      config_.governor_stage_scale_factor >= 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: governor_stage_scale_factor outside (0, 1)");
+  }
+  if (config_.governor_stage_withdraw_fraction <= 0.0 ||
+      config_.governor_stage_withdraw_fraction > 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: governor_stage_withdraw_fraction outside (0, 1]");
+  }
+  if (config_.governor_storm_backoff_factor < 1.0) {
+    throw std::invalid_argument(
+        "RiptideAgent: governor_storm_backoff_factor below 1");
+  }
+  if (config_.governor_max_cooldown < config_.governor_cooldown) {
+    throw std::invalid_argument(
+        "RiptideAgent: governor_max_cooldown below governor_cooldown");
+  }
 }
 
 GovernorConfig RiptideAgent::governor_config(const RiptideConfig& config) {
   return GovernorConfig{
       .budget_segments = config.governor_budget_segments,
+      .budget_fairness = config.governor_budget_fairness,
       .hysteresis_segments = config.governor_hysteresis_segments,
       .rollback_retrans_fraction = config.governor_rollback_retrans_fraction,
       .min_packets = config.governor_min_packets,
       .cooldown = config.governor_cooldown,
+      .staged_response = config.governor_staged_response,
+      .stage_scale_factor = config.governor_stage_scale_factor,
+      .stage_withdraw_fraction = config.governor_stage_withdraw_fraction,
+      .storm_backoff_factor = config.governor_storm_backoff_factor,
+      .max_cooldown = config.governor_max_cooldown,
+      .storm_memory = config.governor_storm_memory,
   };
 }
 
@@ -199,6 +224,21 @@ void RiptideAgent::trace_program(trace::ProgramVerdict verdict,
   ev.program = {host_.address().value(), dst.address().value(),
                 static_cast<std::uint8_t>(dst.length()), verdict, scale,
                 initcwnd, initrwnd};
+  sink->emit(ev);
+}
+
+void RiptideAgent::trace_governor_state(GovernorState from, GovernorState to,
+                                        trace::GovernorCause cause,
+                                        double retrans_fraction,
+                                        std::uint32_t routes) {
+  auto* sink = trace::active();
+  if (sink == nullptr) return;
+  trace::TraceEvent ev;
+  ev.at_ns = sim_.now().ns();
+  ev.kind = trace::EventKind::kGovernorState;
+  ev.governor = {host_.address().value(), static_cast<std::uint8_t>(from),
+                 static_cast<std::uint8_t>(to), cause, retrans_fraction,
+                 routes};
   sink->emit(ev);
 }
 
@@ -388,12 +428,43 @@ void RiptideAgent::poll_once() {
     const std::uint64_t d_packets = host_packets - prev_host_packets_;
     prev_host_retrans_ = host_retrans;
     prev_host_packets_ = host_packets;
+    const double fraction =
+        d_packets > 0 ? static_cast<double>(d_retrans) /
+                            static_cast<double>(d_packets)
+                      : 0.0;
+    const GovernorState pre = governor_.state();
     if (governor_.in_cooldown(now)) {
       ++stats_.governor_cooldown_polls;
       return;
     }
-    if (governor_.should_rollback(d_retrans, d_packets, now)) {
-      emergency_rollback(now);
+    if (pre == GovernorState::kCooldown) {
+      // in_cooldown just performed the expiry transition back to normal.
+      trace_governor_state(pre, GovernorState::kNormal,
+                           trace::GovernorCause::kRecovered, fraction, 0);
+    }
+    if (governor_.staged()) {
+      const GovernorState before = governor_.state();
+      switch (governor_.assess(d_retrans, d_packets, now)) {
+        case StagedAction::kScaleDown:
+          staged_scale_down(before, fraction);
+          return;
+        case StagedAction::kSelectiveWithdraw:
+          staged_selective_withdraw(before, fraction);
+          return;
+        case StagedAction::kRollback:
+          emergency_rollback(now, fraction, trace::GovernorCause::kThreshold);
+          return;
+        case StagedAction::kNone:
+          if (before != governor_.state()) {
+            // A healthy window de-escalated the ladder back to normal.
+            trace_governor_state(before, governor_.state(),
+                                 trace::GovernorCause::kRecovered, fraction,
+                                 0);
+          }
+          break;
+      }
+    } else if (governor_.should_rollback(d_retrans, d_packets, now)) {
+      emergency_rollback(now, fraction, trace::GovernorCause::kThreshold);
       return;
     }
   }
@@ -523,11 +594,21 @@ void RiptideAgent::poll_once() {
   }
 
   // Governor budget: when the whole table wants more total initcwnd than
-  // the host is allowed, every program this poll shrinks proportionally.
-  // The table keeps the unscaled learned values — the budget caps what is
-  // *installed*, not what is known.
+  // the host is allowed, enforcement follows the configured fairness —
+  // proportional (every program this poll shrinks by budget/total) or
+  // shed-newest (senior routes keep their windows; the freshest are
+  // withdrawn until the total fits). The table keeps the unscaled learned
+  // values either way — the budget caps what is *installed*, not what is
+  // known.
   double scale = 1.0;
-  if (governor_.config().budget_segments > 0) {
+  std::map<net::Prefix, std::uint32_t, net::PrefixOrder> admissions;
+  const bool shed_fairness = governor_.config().budget_segments > 0 &&
+                             governor_.config().budget_fairness ==
+                                 BudgetFairness::kShedNewest;
+  if (shed_fairness) {
+    admissions = budget_shed_admissions();
+    if (!admissions.empty()) ++stats_.governor_budget_sheds;
+  } else if (governor_.config().budget_segments > 0) {
     double total_desired = 0.0;
     for (const auto& [destination, state] : table_.entries()) {
       total_desired += state.final_window_segments;
@@ -535,25 +616,50 @@ void RiptideAgent::poll_once() {
     scale = governor_.budget_scale(total_desired);
     if (scale < 1.0) ++stats_.governor_budget_scaledowns;
   }
+  const bool shed_active = !admissions.empty();
+  std::uint32_t shed_this_poll = 0;
 
   // 5. Program routes, still in ascending destination order.
   for (const auto& [destination, final_window] : decisions) {
     const double target = scale < 1.0 ? final_window * scale : final_window;
-    const auto initcwnd = std::max<std::uint32_t>(
+    auto initcwnd = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(std::lround(target)));
+    bool budget_bound = scale < 1.0;
+    trace::ProgramVerdict verdict = trace::ProgramVerdict::kProgrammed;
+    if (shed_active) {
+      const auto ait = admissions.find(destination);
+      const std::uint32_t admit = ait != admissions.end() ? ait->second : 0;
+      if (admit == 0) {
+        // Shed: too junior for the budget. Any installed boost comes out;
+        // the destination rides the default initial window until either
+        // the budget frees up or its seniority grows.
+        if (installed_.contains(destination) ||
+            pending_ops_.contains(destination)) {
+          trace_route(trace::RouteCause::kBudgetShed, destination, 0.0);
+          withdraw_route(destination);
+          ++stats_.governor_routes_budget_shed;
+          ++shed_this_poll;
+        }
+        continue;
+      }
+      if (admit < initcwnd) {
+        initcwnd = admit;
+        budget_bound = true;
+        verdict = trace::ProgramVerdict::kBudgetShrink;
+      }
+    }
     const std::uint32_t initrwnd =
         config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
     if (const auto it = installed_.find(destination);
         it != installed_.end() &&
         governor_.within_hysteresis(it->second.initcwnd_segments, initcwnd) &&
-        !(scale < 1.0 && initcwnd < it->second.initcwnd_segments)) {
+        !(budget_bound && initcwnd < it->second.initcwnd_segments)) {
       ++stats_.governor_hysteresis_skips;
       trace_program(trace::ProgramVerdict::kHysteresisSkip, destination, scale,
                     initcwnd, initrwnd);
       continue;
     }
-    trace_program(trace::ProgramVerdict::kProgrammed, destination, scale,
-                  initcwnd, initrwnd);
+    trace_program(verdict, destination, scale, initcwnd, initrwnd);
     program_route(destination, initcwnd, initrwnd);
   }
 
@@ -584,6 +690,41 @@ void RiptideAgent::poll_once() {
     }
   }
 
+  // Shed-newest is host-wide too: routes installed by earlier polls whose
+  // destinations saw no fresh samples still count against the budget, so
+  // they are shed or shrunk by the same admission set. Collect first:
+  // program_route/withdraw_route mutate installed_.
+  if (shed_active) {
+    std::vector<net::Prefix> shed;
+    std::vector<std::pair<net::Prefix, std::uint32_t>> shrink;
+    for (const auto& [destination, metrics] : installed_) {
+      const auto ait = admissions.find(destination);
+      if (ait == admissions.end()) continue;  // expiry below withdraws it
+      if (ait->second == 0) {
+        shed.push_back(destination);
+      } else if (metrics.initcwnd_segments > ait->second) {
+        shrink.emplace_back(destination, ait->second);
+      }
+    }
+    for (const auto& destination : shed) {
+      trace_route(trace::RouteCause::kBudgetShed, destination, 0.0);
+      withdraw_route(destination);
+      ++stats_.governor_routes_budget_shed;
+      ++shed_this_poll;
+    }
+    for (const auto& [destination, initcwnd] : shrink) {
+      const std::uint32_t initrwnd =
+          config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+      trace_program(trace::ProgramVerdict::kBudgetShrink, destination, scale,
+                    initcwnd, initrwnd);
+      program_route(destination, initcwnd, initrwnd);
+    }
+    // Budget pressure is a governor decision even though the state machine
+    // does not move: annotate the timeline so audits see the cause.
+    trace_governor_state(governor_.state(), governor_.state(),
+                         trace::GovernorCause::kBudget, 0.0, shed_this_poll);
+  }
+
   // §V hardening: destinations retransmitting heavily under a learned
   // window get decayed or withdrawn, even if their current cwnds still
   // look healthy (the damage shows in loss recovery before it shows in
@@ -598,7 +739,140 @@ void RiptideAgent::poll_once() {
   }
 }
 
-void RiptideAgent::emergency_rollback(sim::Time now) {
+void RiptideAgent::manual_rollback() {
+  emergency_rollback(sim_.now(), 0.0, trace::GovernorCause::kManual);
+}
+
+// Seniority order for shedding decisions: a destination that has survived
+// many poll rounds has earned its window; one first seen a poll or two ago
+// has not. The table has no first-seen timestamp (the snapshot codec pins
+// the record layout), so the update count is the seniority measure, with
+// the last-refresh time and then the prefix order as deterministic
+// tie-breaks.
+std::map<net::Prefix, std::uint32_t, net::PrefixOrder>
+RiptideAgent::budget_shed_admissions() const {
+  std::map<net::Prefix, std::uint32_t, net::PrefixOrder> admitted;
+  const std::uint32_t budget = governor_.config().budget_segments;
+  struct Candidate {
+    net::Prefix destination;
+    std::uint32_t window;
+    std::uint64_t updates;
+    sim::Time last_updated;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(table_.size());
+  std::uint64_t total = 0;
+  for (const auto& [destination, state] : table_.entries()) {
+    const auto window = std::max<std::uint32_t>(
+        1,
+        static_cast<std::uint32_t>(std::lround(state.final_window_segments)));
+    candidates.push_back(
+        {destination, window, state.updates, state.last_updated});
+    total += window;
+  }
+  if (total <= budget) return admitted;  // empty = no enforcement needed
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.updates != b.updates) return a.updates > b.updates;
+              if (a.last_updated != b.last_updated) {
+                return a.last_updated < b.last_updated;
+              }
+              return net::PrefixOrder{}(a.destination, b.destination);
+            });
+  // Greedy whole-window admission, oldest first. The first window that no
+  // longer fits gets whatever is left (a partial boost still beats the
+  // default); everything junior to it is shed outright.
+  std::uint32_t remaining = budget;
+  for (const auto& candidate : candidates) {
+    if (candidate.window <= remaining) {
+      admitted[candidate.destination] = candidate.window;
+      remaining -= candidate.window;
+    } else {
+      admitted[candidate.destination] = remaining;
+      remaining = 0;
+    }
+  }
+  return admitted;
+}
+
+void RiptideAgent::staged_scale_down(GovernorState from,
+                                     double retrans_fraction) {
+  // Stage 1: keep every route but halve (by stage_scale_factor) what it
+  // may burst. The learned table keeps the unscaled values: a healthy
+  // window next poll reprograms them at full size. Collect first —
+  // program_route mutates installed_.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> scaled;
+  for (const auto& [destination, metrics] : installed_) {
+    const auto target = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(metrics.initcwnd_segments *
+                           governor_.config().stage_scale_factor)));
+    if (target < metrics.initcwnd_segments) {
+      scaled.emplace_back(destination, target);
+    }
+  }
+  for (const auto& [destination, initcwnd] : scaled) {
+    const std::uint32_t initrwnd =
+        config_.set_initrwnd ? std::max(config_.c_max, initcwnd) : 0;
+    trace_program(trace::ProgramVerdict::kStageScaleDown, destination,
+                  governor_.config().stage_scale_factor, initcwnd, initrwnd);
+    program_route(destination, initcwnd, initrwnd);
+  }
+  ++stats_.governor_stage_scaledowns;
+  stats_.governor_routes_stage_scaled += scaled.size();
+  trace_governor_state(from, governor_.state(),
+                       trace::GovernorCause::kThreshold, retrans_fraction,
+                       static_cast<std::uint32_t>(scaled.size()));
+}
+
+void RiptideAgent::staged_selective_withdraw(GovernorState from,
+                                             double retrans_fraction) {
+  // Stage 2: the scale-down was not enough — withdraw the newest
+  // stage_withdraw_fraction of installed routes entirely (their learned
+  // entries too, so the next poll re-learns instead of instantly
+  // reprogramming the same window). Newest first: fresh routes are both
+  // the least proven and the likeliest cause of a synchronized burst.
+  struct Candidate {
+    net::Prefix destination;
+    std::uint64_t updates;
+    sim::Time last_updated;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(installed_.size());
+  for (const auto& [destination, metrics] : installed_) {
+    const DestinationState* state = table_.find(destination);
+    candidates.push_back({destination, state != nullptr ? state->updates : 0,
+                          state != nullptr ? state->last_updated
+                                           : sim::Time::zero()});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.updates != b.updates) return a.updates < b.updates;
+              if (a.last_updated != b.last_updated) {
+                return a.last_updated > b.last_updated;
+              }
+              return net::PrefixOrder{}(a.destination, b.destination);
+            });
+  const auto count = std::min<std::size_t>(
+      candidates.size(),
+      static_cast<std::size_t>(
+          std::ceil(static_cast<double>(candidates.size()) *
+                    governor_.config().stage_withdraw_fraction)));
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::Prefix destination = candidates[i].destination;
+    table_.erase(destination);
+    trace_route(trace::RouteCause::kStageWithdraw, destination, 0.0);
+    withdraw_route(destination);
+  }
+  ++stats_.governor_stage_withdrawals;
+  stats_.governor_routes_stage_withdrawn += count;
+  trace_governor_state(from, governor_.state(),
+                       trace::GovernorCause::kThreshold, retrans_fraction,
+                       static_cast<std::uint32_t>(count));
+}
+
+void RiptideAgent::emergency_rollback(sim::Time now, double retrans_fraction,
+                                      trace::GovernorCause cause) {
   // Withdraw everything this process knows about or may yet act on:
   // learned entries, routes believed installed (the sets differ after
   // adoption, expiry races, or partial failures), and destinations with
@@ -634,7 +908,11 @@ void RiptideAgent::emergency_rollback(sim::Time now) {
   ++stats_.governor_rollbacks;
   table_ = ObservedTable{};
   seen_counters_.clear();
-  governor_.arm_cooldown(now);
+  const GovernorState from = governor_.state();
+  if (governor_.arm_cooldown(now)) ++stats_.governor_storm_escalations;
+  trace_governor_state(from, GovernorState::kCooldown, cause,
+                       retrans_fraction,
+                       static_cast<std::uint32_t>(targets.size()));
 }
 
 void RiptideAgent::reconcile_route_table() {

@@ -49,6 +49,15 @@ struct AgentStats {
   std::uint64_t governor_rollbacks = 0;          // emergency rollbacks fired
   std::uint64_t governor_routes_rolled_back = 0;
   std::uint64_t governor_cooldown_polls = 0;     // polls skipped cooling down
+
+  // -- staged response + budget fairness (governor hardening) --
+  std::uint64_t governor_stage_scaledowns = 0;   // stage-1 actions fired
+  std::uint64_t governor_routes_stage_scaled = 0;
+  std::uint64_t governor_stage_withdrawals = 0;  // stage-2 actions fired
+  std::uint64_t governor_routes_stage_withdrawn = 0;
+  std::uint64_t governor_budget_sheds = 0;       // shed-newest polls enforced
+  std::uint64_t governor_routes_budget_shed = 0;
+  std::uint64_t governor_storm_escalations = 0;  // cooldowns grown by storms
 };
 
 // The Riptide agent (paper Algorithm 1). Runs on one host, entirely from
@@ -127,6 +136,16 @@ class RiptideAgent {
   }
   std::uint32_t window_cap() const { return window_cap_segments_; }
 
+  // Operator hook: withdraw every learned route and enter cooldown right
+  // now, regardless of health signals (e.g. a pre-announced maintenance
+  // window where boosted bursts must not land). Traced with cause
+  // "manual" so the audit trail distinguishes it from the brake firing.
+  void manual_rollback();
+
+  // Read-only view of the safety governor (state machine, effective
+  // cooldown) for tests and monitoring.
+  const SafetyGovernor& governor() const { return governor_; }
+
   // Destination key for a peer address at the configured granularity.
   net::Prefix destination_key(net::Ipv4Address peer) const;
 
@@ -175,9 +194,19 @@ class RiptideAgent {
   void trace_program(trace::ProgramVerdict verdict, const net::Prefix& dst,
                      double scale, std::uint32_t initcwnd,
                      std::uint32_t initrwnd);
+  void trace_governor_state(GovernorState from, GovernorState to,
+                            trace::GovernorCause cause,
+                            double retrans_fraction, std::uint32_t routes);
   void adopt_existing_routes();
   // Governor actions and reconciliation (poll_once helpers).
-  void emergency_rollback(sim::Time now);
+  void emergency_rollback(sim::Time now, double retrans_fraction,
+                          trace::GovernorCause cause);
+  void staged_scale_down(GovernorState from, double retrans_fraction);
+  void staged_selective_withdraw(GovernorState from, double retrans_fraction);
+  // Shed-newest budget enforcement: the per-destination windows admitted
+  // this poll (0 = shed entirely), or an empty map when the table fits.
+  std::map<net::Prefix, std::uint32_t, net::PrefixOrder>
+  budget_shed_admissions() const;
   void reconcile_route_table();
   // Actuator wrappers: perform the op now; on failure, enqueue a retry.
   void program_route(const net::Prefix& dst, std::uint32_t initcwnd,

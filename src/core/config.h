@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/governor.h"
 #include "sim/time.h"
 
 namespace riptide::core {
@@ -154,6 +155,28 @@ struct RiptideConfig {
   double governor_rollback_retrans_fraction = 0.0;
   std::uint64_t governor_min_packets = 100;
   sim::Time governor_cooldown = sim::Time::seconds(30);
+
+  // Budget enforcement flavor: proportional scale-down (historical
+  // default) or newest-first shedding, where senior routes keep their
+  // full windows and the freshest ones fall back to the default initial
+  // window until the total fits the budget.
+  BudgetFairness governor_budget_fairness = BudgetFairness::kProportional;
+
+  // Staged response (see GovernorConfig): instead of the all-or-nothing
+  // rollback, escalate scale-down → selective withdraw → rollback, one
+  // stage per consecutive over-threshold poll. Off by default; only
+  // meaningful with governor_rollback_retrans_fraction > 0.
+  bool governor_staged_response = false;
+  double governor_stage_scale_factor = 0.5;
+  double governor_stage_withdraw_fraction = 0.5;
+
+  // Rollback-storm hysteresis (see GovernorConfig): a backoff factor > 1
+  // grows the cooldown multiplicatively when rollbacks re-trip within
+  // governor_storm_memory of the previous cooldown's end, capped at
+  // governor_max_cooldown. 1.0 keeps every cooldown at governor_cooldown.
+  double governor_storm_backoff_factor = 1.0;
+  sim::Time governor_max_cooldown = sim::Time::seconds(480);
+  sim::Time governor_storm_memory = sim::Time::seconds(120);
 };
 
 }  // namespace riptide::core

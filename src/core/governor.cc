@@ -1,30 +1,109 @@
 #include "core/governor.h"
 
 #include <algorithm>
-#include <cstdlib>
 
 namespace riptide::core {
 
-bool SafetyGovernor::should_rollback(std::uint64_t retrans_delta,
-                                     std::uint64_t packets_delta,
-                                     sim::Time now) {
-  if (!rollback_enabled()) return false;
-  if (in_cooldown(now)) return false;
+const char* to_string(GovernorState state) {
+  switch (state) {
+    case GovernorState::kNormal:
+      return "normal";
+    case GovernorState::kScaleDown:
+      return "scale-down";
+    case GovernorState::kSelectiveWithdraw:
+      return "selective-withdraw";
+    case GovernorState::kCooldown:
+      return "cooldown";
+  }
+  return "unknown";
+}
+
+bool SafetyGovernor::over_threshold(std::uint64_t retrans_delta,
+                                    std::uint64_t packets_delta) const {
+  // A zero-packet poll window is no evidence either way: with
+  // min_packets configured to 0 the comparison below would read
+  // 0 >= fraction * 0 and trip a spurious rollback on an idle host.
+  if (packets_delta == 0) return false;
   if (packets_delta < config_.min_packets) return false;
   return static_cast<double>(retrans_delta) >=
          config_.rollback_retrans_fraction *
              static_cast<double>(packets_delta);
 }
 
-void SafetyGovernor::arm_cooldown(sim::Time now) {
-  state_ = State::kCooldown;
-  cooldown_until_ = now + config_.cooldown;
+bool SafetyGovernor::should_rollback(std::uint64_t retrans_delta,
+                                     std::uint64_t packets_delta,
+                                     sim::Time now) {
+  if (!rollback_enabled()) return false;
+  if (in_cooldown(now)) return false;
+  return over_threshold(retrans_delta, packets_delta);
+}
+
+StagedAction SafetyGovernor::assess(std::uint64_t retrans_delta,
+                                    std::uint64_t packets_delta,
+                                    sim::Time now) {
+  if (!rollback_enabled()) return StagedAction::kNone;
+  if (in_cooldown(now)) return StagedAction::kNone;
+  if (packets_delta == 0 || packets_delta < config_.min_packets) {
+    // No evidence: hold whatever stage we are in rather than either
+    // escalating (an idle window is not a loss storm) or celebrating a
+    // recovery that never carried traffic.
+    return StagedAction::kNone;
+  }
+  if (!over_threshold(retrans_delta, packets_delta)) {
+    // One healthy window clears the ladder entirely: the staged actions
+    // already took the pressure off, and lingering in a degraded stage
+    // would keep shrinking a host that has stopped hurting.
+    state_ = GovernorState::kNormal;
+    return StagedAction::kNone;
+  }
+  switch (state_) {
+    case GovernorState::kNormal:
+      state_ = GovernorState::kScaleDown;
+      return StagedAction::kScaleDown;
+    case GovernorState::kScaleDown:
+      state_ = GovernorState::kSelectiveWithdraw;
+      return StagedAction::kSelectiveWithdraw;
+    case GovernorState::kSelectiveWithdraw:
+      // The kCooldown transition happens in arm_cooldown, which the agent
+      // calls from its rollback sweep (same contract as the legacy path).
+      return StagedAction::kRollback;
+    case GovernorState::kCooldown:
+      return StagedAction::kNone;
+  }
+  return StagedAction::kNone;
+}
+
+bool SafetyGovernor::arm_cooldown(sim::Time now) {
+  bool storm = false;
+  if (current_cooldown_ == sim::Time::zero()) {
+    current_cooldown_ = config_.cooldown;
+  }
+  if (config_.storm_backoff_factor > 1.0) {
+    const bool re_trip =
+        cooled_down_once_ &&
+        now <= last_cooldown_end_ + config_.storm_memory;
+    if (re_trip) {
+      current_cooldown_ = std::min(
+          config_.max_cooldown,
+          sim::Time::from_seconds(current_cooldown_.to_seconds() *
+                                  config_.storm_backoff_factor));
+      storm = true;
+      ++storm_escalations_;
+    } else {
+      current_cooldown_ = config_.cooldown;
+    }
+  }
+  state_ = GovernorState::kCooldown;
+  cooldown_until_ = now + current_cooldown_;
+  last_cooldown_end_ = cooldown_until_;
+  cooled_down_once_ = true;
+  return storm;
 }
 
 bool SafetyGovernor::in_cooldown(sim::Time now) {
-  if (state_ != State::kCooldown) return false;
+  if (state_ != GovernorState::kCooldown) return false;
   if (now >= cooldown_until_) {
-    state_ = State::kNormal;
+    state_ = GovernorState::kNormal;
     return false;
   }
   return true;

@@ -25,6 +25,8 @@ namespace riptide::trace {
 //   agent-restore   warm-restart provenance (in-memory table vs persisted
 //                   checkpoint generation)
 //   agent-rollback  governor emergency rollback swept the table
+//   governor-state  the safety governor's state machine moved (normal,
+//                   scale-down, selective-withdraw, cooldown), with cause
 //   fault           a FaultInjector plan event fired (or a burst restored)
 //   link            a link's administrative state flipped
 enum class EventKind : std::uint8_t {
@@ -36,6 +38,7 @@ enum class EventKind : std::uint8_t {
   kAgentRoute,
   kAgentRestore,
   kAgentRollback,
+  kGovernorState,
   kFault,
   kLink,
 };
@@ -61,6 +64,7 @@ enum class ProgramVerdict : std::uint8_t {
   kProgrammed,      // route metrics written (possibly budget-scaled)
   kHysteresisSkip,  // within the governor's damping band; not written
   kBudgetShrink,    // post-pass sweep shrank an installed route to budget
+  kStageScaleDown,  // staged response stage 1 scaled an installed route
 };
 const char* to_string(ProgramVerdict verdict);
 
@@ -74,8 +78,19 @@ enum class RouteCause : std::uint8_t {
   kReconcileOrphan,     // learned-looking route no process owns; withdrawn
   kRollback,            // governor emergency rollback withdrew it
   kAdopted,             // leftover route adopted at start()
+  kStageWithdraw,       // staged response stage 2 shed it (newest first)
+  kBudgetShed,          // shed-newest budget fairness withdrew it
 };
 const char* to_string(RouteCause cause);
+
+// Why the governor's state machine moved (governor-state events).
+enum class GovernorCause : std::uint8_t {
+  kThreshold,  // host-wide retransmit fraction crossed the brake
+  kBudget,     // budget pressure (shed-newest enforcement engaged)
+  kManual,     // operator/test asked for it directly
+  kRecovered,  // healthy window de-escalated / cooldown elapsed
+};
+const char* to_string(GovernorCause cause);
 
 // Connection identity as raw integers, so trace/ does not depend on tcp/
 // (tcp depends on trace for its emit sites; a tuple dependency would be a
@@ -154,6 +169,20 @@ struct AgentRollbackEvent {
   std::uint32_t routes;  // routes withdrawn by the sweep
 };
 
+// One edge of the governor state machine. `from`/`to` carry
+// core::GovernorState values (normal / scale-down / selective-withdraw /
+// cooldown), exported by name; retrans_fraction is the host-wide
+// retransmit rate of the poll window that drove the transition (0 when
+// the cause carries no rate, e.g. cooldown expiry).
+struct GovernorStateEvent {
+  std::uint32_t host;
+  std::uint8_t from;
+  std::uint8_t to;
+  GovernorCause cause;
+  double retrans_fraction;
+  std::uint32_t routes;  // routes the transition's action touched
+};
+
 struct FaultLifecycleEvent {
   const char* label;      // static string from faults::to_string
   std::uint8_t restored;  // 1 = a burst window closed (parameters restored)
@@ -187,6 +216,7 @@ struct TraceEvent {
     AgentRouteEvent route;
     AgentRestoreEvent restore;
     AgentRollbackEvent rollback;
+    GovernorStateEvent governor;
     FaultLifecycleEvent fault;
     LinkAdminEvent link;
   };

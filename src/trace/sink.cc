@@ -17,6 +17,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kAgentRoute: return "agent-route";
     case EventKind::kAgentRestore: return "agent-restore";
     case EventKind::kAgentRollback: return "agent-rollback";
+    case EventKind::kGovernorState: return "governor-state";
     case EventKind::kFault: return "fault";
     case EventKind::kLink: return "link";
   }
@@ -41,6 +42,7 @@ const char* to_string(ProgramVerdict verdict) {
     case ProgramVerdict::kProgrammed: return "programmed";
     case ProgramVerdict::kHysteresisSkip: return "hysteresis-skip";
     case ProgramVerdict::kBudgetShrink: return "budget-shrink";
+    case ProgramVerdict::kStageScaleDown: return "stage-scale-down";
   }
   return "?";
 }
@@ -55,6 +57,18 @@ const char* to_string(RouteCause cause) {
     case RouteCause::kReconcileOrphan: return "reconcile-orphan";
     case RouteCause::kRollback: return "rollback";
     case RouteCause::kAdopted: return "adopted";
+    case RouteCause::kStageWithdraw: return "stage-withdraw";
+    case RouteCause::kBudgetShed: return "budget-shed";
+  }
+  return "?";
+}
+
+const char* to_string(GovernorCause cause) {
+  switch (cause) {
+    case GovernorCause::kThreshold: return "threshold";
+    case GovernorCause::kBudget: return "budget";
+    case GovernorCause::kManual: return "manual";
+    case GovernorCause::kRecovered: return "recovered";
   }
   return "?";
 }
@@ -89,6 +103,19 @@ std::string format_host(std::uint32_t addr) {
   char a[16];
   format_addr(a, sizeof a, addr);
   return a;
+}
+
+// Names for GovernorStateEvent::from/to. Mirrors core::GovernorState by
+// value (trace/ cannot include core/ — core depends on trace for its emit
+// sites, and the reverse edge would be a cycle).
+const char* governor_state_name(std::uint8_t state) {
+  switch (state) {
+    case 0: return "normal";
+    case 1: return "scale-down";
+    case 2: return "selective-withdraw";
+    case 3: return "cooldown";
+  }
+  return "?";
 }
 
 void append(std::string& out, const char* fmt, ...)
@@ -171,6 +198,15 @@ std::string to_json(const TraceEvent& e) {
     case EventKind::kAgentRollback:
       append(out, ",\"host\":\"%s\",\"routes\":%u",
              format_host(e.rollback.host).c_str(), e.rollback.routes);
+      break;
+    case EventKind::kGovernorState:
+      append(out,
+             ",\"host\":\"%s\",\"from\":\"%s\",\"to\":\"%s\","
+             "\"cause\":\"%s\",\"retrans_fraction\":%.17g,\"routes\":%u",
+             format_host(e.governor.host).c_str(),
+             governor_state_name(e.governor.from),
+             governor_state_name(e.governor.to), to_string(e.governor.cause),
+             e.governor.retrans_fraction, e.governor.routes);
       break;
     case EventKind::kFault:
       append(out,
@@ -264,6 +300,16 @@ std::string to_csv(const TraceEvent& e) {
     case EventKind::kAgentRollback:
       host = format_host(e.rollback.host);
       std::snprintf(buf, sizeof buf, "routes:%u", e.rollback.routes);
+      detail = buf;
+      break;
+    case EventKind::kGovernorState:
+      host = format_host(e.governor.host);
+      cause = to_string(e.governor.cause);
+      std::snprintf(buf, sizeof buf,
+                    "state:%s->%s retrans_fraction:%.9g routes:%u",
+                    governor_state_name(e.governor.from),
+                    governor_state_name(e.governor.to),
+                    e.governor.retrans_fraction, e.governor.routes);
       detail = buf;
       break;
     case EventKind::kFault:

@@ -52,6 +52,15 @@ echo "==== shard suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L shard --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The hostile label (incast/flash-crowd wave generators, the governed
+# policy end-to-end ordering, the governed CLI path) re-runs under the
+# sanitizers: waves of short-lived connections churn through socket
+# teardown and the governor's withdraw/rollback sweeps, prime ground for
+# use-after-free.
+echo "==== hostile suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L hostile --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
 
@@ -72,6 +81,16 @@ echo "==== shard scaling + hybrid fidelity bench (quick) ===="
   | tail -1 > build-ci-release/BENCH_shard.ci.json
 python3 tools/bench_diff.py BENCH_shard.json \
   build-ci-release/BENCH_shard.ci.json || true
+
+# Policy zoo bench (informational): quick mode keeps CI short. The
+# headline block — static IW50 vs governed adaptive per hostile scenario —
+# is what reviewers read; quick-mode numbers are not comparable with the
+# checked-in full-length BENCH_policy.json, so the diff is advisory.
+echo "==== policy zoo x hostile scenario bench (quick) ===="
+./build-ci-release/bench/bench_policy_zoo --quick --json \
+  > build-ci-release/BENCH_policy.ci.json
+python3 tools/bench_diff.py BENCH_policy.json \
+  build-ci-release/BENCH_policy.ci.json || true
 
 # Docs lint: every relative markdown link must resolve (offline check; no
 # network fetches in CI).

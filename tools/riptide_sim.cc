@@ -14,6 +14,7 @@
 //               [--pacing] [--threads N] [--sweep-seeds A,B,C]
 //               [--trace PATH.jsonl] [--trace-ring N]
 //               [--shards N] [--flow-traffic FLOWS_PER_SEC]
+//               [--policy NAME] [--hostile SPEC]
 //
 // With --sweep-seeds, the same scenario is run once per seed — fanned
 // across --threads workers (default: one per hardware thread) — and a
@@ -22,6 +23,13 @@
 // --trace enables the decision-audit layer (src/trace) and writes the
 // JSONL event stream to PATH after the run; "{label}" / "{index}" in PATH
 // expand per run in a sweep. Render it with tools/trace_report.py.
+//
+// --policy selects a point in the initcwnd policy zoo (src/policy):
+// "default", "static-iwN[@L]", "adaptive[-governed][@L]", "oracle[@L]".
+// --hostile runs an adversarial scenario (src/cdn/hostile.h):
+// "shallow-buffer[:queue=N]", "incast[:victim=P,fanin=N,...]",
+// "flash-crowd[:at=S,conns=N,...]", "combined". Neither composes with
+// --shards.
 //
 // --shards N runs the sharded (PDES) engine: the topology's PoPs become
 // cells synchronized by conservative time windows, mapped onto N worker
@@ -36,8 +44,12 @@
 #include <thread>
 #include <vector>
 
+#include <stdexcept>
+
 #include "cdn/experiment.h"
+#include "cdn/hostile.h"
 #include "cdn/pops.h"
+#include "policy/policy.h"
 #include "runner/parallel_runner.h"
 #include "runner/sweep.h"
 #include "runner/task_pool.h"
@@ -54,6 +66,8 @@ struct Options {
   bool riptide = true;
   unsigned threads = 0;
   std::size_t shards = 0;  // 0 = monolithic engine
+  std::string policy;
+  std::string hostile;
   std::vector<std::uint64_t> sweep_seeds;
   cdn::ExperimentConfig config;
 };
@@ -68,7 +82,16 @@ struct Options {
                "  [--threads N] [--sweep-seeds A,B,C]\n"
                "  [--trace PATH.jsonl] [--trace-ring N]\n"
                "  [--shards N] [--flow-traffic FLOWS_PER_SEC]\n"
+               "  [--policy NAME] [--hostile SPEC]\n"
                "\n"
+               "  --policy NAME     initcwnd policy: default | static-iwN[@L]\n"
+               "                    | adaptive[-governed][@L] | oracle[@L]\n"
+               "                    (L = route prefix length, default 32;\n"
+               "                    overrides --riptide)\n"
+               "  --hostile SPEC    adversarial scenario: shallow-buffer |\n"
+               "                    incast | flash-crowd | combined, with\n"
+               "                    optional :key=val,... tuning (see\n"
+               "                    src/cdn/hostile.h)\n"
                "  --shards N        run the sharded (PDES) engine on N worker\n"
                "                    threads; one cell per PoP, so N must not\n"
                "                    exceed the PoP/host count. Metrics are\n"
@@ -154,6 +177,10 @@ Options parse(int argc, char** argv) {
       if (fps <= 0.0) usage(argv[0]);
       opt.config.flow_traffic.enabled = true;
       opt.config.flow_traffic.model.flows_per_second = fps;
+    } else if (arg == "--policy") {
+      opt.policy = need_value(i);
+    } else if (arg == "--hostile") {
+      opt.hostile = need_value(i);
     } else if (arg == "--sweep-seeds") {
       const char* p = need_value(i);
       while (*p != '\0') {
@@ -189,6 +216,54 @@ int main(int argc, char** argv) {
   opt.config.duration = sim::Time::from_seconds(opt.duration_s);
   opt.config.seed = opt.seed;
 
+  if (!opt.hostile.empty()) {
+    try {
+      opt.config.hostile = cdn::parse_hostile_spec(opt.hostile);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "--hostile: %s\n", err.what());
+      return 2;
+    }
+    if (opt.config.hostile.kind != cdn::HostileKind::kNone &&
+        opt.shards > 0) {
+      std::fprintf(stderr, "--hostile does not compose with --shards\n");
+      return 2;
+    }
+    if ((opt.config.hostile.kind == cdn::HostileKind::kIncast ||
+         opt.config.hostile.kind == cdn::HostileKind::kCombined) &&
+        opt.config.hostile.victim_pop >= opt.pops) {
+      std::fprintf(stderr, "--hostile: victim PoP %zu out of range [0, %zu)\n",
+                   opt.config.hostile.victim_pop, opt.pops);
+      return 2;
+    }
+    if (opt.config.hostile.kind == cdn::HostileKind::kShallowBuffer ||
+        opt.config.hostile.kind == cdn::HostileKind::kCombined) {
+      // The shallow bottleneck is a topology property, not a traffic
+      // source: shrink the WAN queues before the world is built.
+      opt.config.topology.wan_queue_packets =
+          opt.config.hostile.queue_packets;
+    }
+  }
+
+  if (!opt.policy.empty()) {
+    policy::PolicySpec spec;
+    try {
+      spec = policy::parse_policy(opt.policy);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "--policy: %s\n", err.what());
+      return 2;
+    }
+    if ((spec.kind == policy::PolicyKind::kStaticIw ||
+         spec.kind == policy::PolicyKind::kOracle) &&
+        opt.shards > 0) {
+      std::fprintf(stderr, "--policy %s does not compose with --shards\n",
+                   opt.policy.c_str());
+      return 2;
+    }
+    // apply_policy owns riptide_enabled from here; --riptide is ignored.
+    policy::apply_policy(opt.config, spec);
+    opt.riptide = opt.config.riptide_enabled;
+  }
+
   if (opt.shards > 0) {
     // Cells are fixed at one per PoP; worker shards only map cells onto
     // threads, so more shards than PoPs (and a fortiori than hosts) has
@@ -223,6 +298,10 @@ int main(int argc, char** argv) {
               opt.riptide ? "on" : "off", seeds.size(),
               runner::effective_threads(opt.threads, seeds.size()));
   if (opt.shards > 0) std::printf(", engine=sharded(%zu)", opt.shards);
+  if (!opt.policy.empty()) std::printf(", policy=%s", opt.policy.c_str());
+  if (opt.config.hostile.kind != cdn::HostileKind::kNone) {
+    std::printf(", hostile=%s", cdn::to_string(opt.config.hostile.kind));
+  }
   if (opt.config.flow_traffic.enabled) {
     std::printf(", flow-traffic=%.0f/s",
                 opt.config.flow_traffic.model.flows_per_second);
@@ -297,20 +376,57 @@ void print_summary(const cdn::Experiment& exp) {
                 cwnd.percentile(75), cwnd.percentile(90), cwnd.count());
   }
 
+  const auto& hostile = exp.config().hostile;
+  if (hostile.kind != cdn::HostileKind::kNone) {
+    std::uint64_t waves = 0, conns = 0, bytes = 0;
+    for (const auto& src : exp.incast_sources()) {
+      waves += src->waves_fired();
+      conns += src->connections_opened();
+      bytes += src->bytes_queued();
+    }
+    for (const auto& src : exp.flash_crowd_sources()) {
+      waves += src->waves_fired();
+      conns += src->connections_opened();
+      bytes += src->bytes_queued();
+    }
+    std::printf("\nhostile %s: %llu waves, %llu fresh connections, "
+                "%.1f MB queued\n",
+                cdn::to_string(hostile.kind),
+                static_cast<unsigned long long>(waves),
+                static_cast<unsigned long long>(conns), bytes / 1e6);
+  }
+
   if (!exp.agents().empty()) {
     std::uint64_t polls = 0, routes = 0, expired = 0;
+    std::uint64_t scaledowns = 0, withdrawals = 0, rollbacks = 0;
+    std::uint64_t sheds = 0, storms = 0;
     std::size_t entries = 0;
     for (const auto& agent : exp.agents()) {
       polls += agent->stats().polls;
       routes += agent->stats().routes_set;
       expired += agent->stats().routes_expired;
       entries += agent->table().size();
+      scaledowns += agent->stats().governor_stage_scaledowns;
+      withdrawals += agent->stats().governor_stage_withdrawals;
+      rollbacks += agent->stats().governor_rollbacks;
+      sheds += agent->stats().governor_budget_sheds;
+      storms += agent->stats().governor_storm_escalations;
     }
     std::printf("\nagents: %zu, polls: %llu, routes set: %llu, expired: "
                 "%llu, live table entries: %zu\n",
                 exp.agents().size(), static_cast<unsigned long long>(polls),
                 static_cast<unsigned long long>(routes),
                 static_cast<unsigned long long>(expired), entries);
+    if (scaledowns + withdrawals + rollbacks + sheds > 0) {
+      std::printf("governor: %llu scale-downs, %llu selective withdrawals, "
+                  "%llu rollbacks (%llu storm escalations), "
+                  "%llu budget sheds\n",
+                  static_cast<unsigned long long>(scaledowns),
+                  static_cast<unsigned long long>(withdrawals),
+                  static_cast<unsigned long long>(rollbacks),
+                  static_cast<unsigned long long>(storms),
+                  static_cast<unsigned long long>(sheds));
+    }
 
     std::printf("\nlearned windows at %s:\n",
                 exp.topology().host(0, 0).name().c_str());

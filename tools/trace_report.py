@@ -16,6 +16,8 @@ Modes (stdlib only, no third-party dependencies):
                                          unique substring of it)
     trace_report.py FILE --route PREFIX  per-route decision timeline
                                          (--host narrows to one agent)
+    trace_report.py FILE --governor      SafetyGovernor state timeline per
+                                         agent (--host narrows to one)
 
 The --conn view is the Fig-6-style picture: an initcwnd-seeded connection
 starts its timeline at the jump-started window instead of IW10.
@@ -41,6 +43,8 @@ REQUIRED_KEYS = {
     "agent-restore": {"host", "from_checkpoint", "reinstalled", "records",
                       "generation", "rejected"},
     "agent-rollback": {"host", "routes"},
+    "governor-state": {"host", "from", "to", "cause", "retrans_fraction",
+                       "routes"},
     "fault": {"label", "restored", "value", "duration_ns"},
     "link": {"name", "up"},
 }
@@ -236,6 +240,36 @@ def route_timeline(events, route, host):
         sys.exit(f"error: no events for route {route!r} (use --list)")
 
 
+def governor_timeline(events, host):
+    """Per-host SafetyGovernor state machine: every governor-state edge plus
+    the rollbacks and staged programs/withdrawals that accompanied it."""
+    hosts = sorted({ev["host"] for _, ev in events
+                    if ev.get("kind") == "governor-state"})
+    if host:
+        if host not in hosts:
+            sys.exit(f"error: no governor-state events for host {host!r}"
+                     + (f"; hosts with events: {', '.join(hosts)}"
+                        if hosts else " (none traced)"))
+        hosts = [host]
+    if not hosts:
+        sys.exit("error: no governor-state events in trace")
+    for agent_host in hosts:
+        print(f"governor on {agent_host}")
+        print(f"  {'time (ms)':>12}  {'edge':<36} {'cause':<10} {'detail'}")
+        for _, ev in events:
+            if ev.get("kind") != "governor-state":
+                continue
+            if ev["host"] != agent_host:
+                continue
+            t_ms = ev["at"] / 1e6
+            edge = (ev["from"] if ev["from"] == ev["to"]
+                    else f"{ev['from']} -> {ev['to']}")
+            detail = f"routes={ev['routes']}"
+            if ev["retrans_fraction"] > 0:
+                detail += f" retrans={ev['retrans_fraction']:.4g}"
+            print(f"  {t_ms:>12.3f}  {edge:<36} {ev['cause']:<10} {detail}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Render riptide decision-audit traces.")
@@ -250,8 +284,10 @@ def main():
                              "(exact 'a:p-b:p' or unique substring)")
     parser.add_argument("--route", metavar="PREFIX",
                         help="decision timeline for one route (a.b.c.d/len)")
+    parser.add_argument("--governor", action="store_true",
+                        help="SafetyGovernor state timeline per agent")
     parser.add_argument("--host", metavar="ADDR",
-                        help="restrict --route to one agent host")
+                        help="restrict --route/--governor to one agent host")
     parser.add_argument("--plot-width", type=int, default=60,
                         help="ASCII plot width in characters")
     args = parser.parse_args()
@@ -277,6 +313,8 @@ def main():
         conn_timeline(events, pick_conn(events, args.conn), args.plot_width)
     elif args.route:
         route_timeline(events, args.route, args.host)
+    elif args.governor:
+        governor_timeline(events, args.host)
     else:
         summarize(meta, events, args.file)
 
