@@ -1,0 +1,32 @@
+// libFuzzer target for the chaos spec grammar: every input either parses
+// into a ChaosSpec or is rejected with std::invalid_argument — any other
+// escape (crash, different exception type, runaway allocation) is a
+// finding. Accepted specs must additionally survive the canonical
+// round-trip the shrinker and repro files depend on:
+// parse(to_string(spec)) == spec.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "chaos/spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Spec files are a dozen short lines; huge inputs only slow the fuzzer
+  // down without reaching new states.
+  if (size > 8192) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const auto spec = riptide::chaos::ChaosSpec::parse(text);
+    const std::string canonical = spec.to_string();
+    const auto reparsed = riptide::chaos::ChaosSpec::parse(canonical);
+    assert(spec == reparsed);
+    assert(canonical == reparsed.to_string());
+  } catch (const std::invalid_argument&) {
+    // The documented rejection path.
+  }
+  return 0;
+}

@@ -146,6 +146,11 @@ class Experiment {
       const {
     return flash_crowd_sources_;
   }
+  // The probe mesh's clients (one per probing host), for accounting checks
+  // (src/chaos) and instrumented tests.
+  const std::vector<std::unique_ptr<ProbeClient>>& probe_clients() const {
+    return probe_clients_;
+  }
 
   const MetricsCollector& metrics() const { return metrics_; }
   Topology& topology() { return *topology_; }

@@ -56,12 +56,29 @@ struct HostileConfig {
   sim::Time crowd_period = sim::Time::seconds(30);
 };
 
+// Field-wise equality, for spec round-trip checks and the chaos shrinker.
+bool operator==(const HostileConfig& a, const HostileConfig& b);
+
 // Parses "name" or "name:key=val,key=val,...". Names: none,
 // shallow-buffer, incast, flash-crowd, combined. Keys: queue, victim,
 // fanin, burst, start, interval, at, conns, bytes, repeats, period
 // (times in seconds, fractional allowed). Throws std::invalid_argument
-// on anything else — this grammar is a fuzz surface.
+// naming the offending token and its byte offset on anything else — this
+// grammar is a fuzz surface.
 HostileConfig parse_hostile_spec(const std::string& spec);
+
+// Canonical spec string: the scenario name plus every key whose value
+// differs from the default, in fixed key order.
+// parse_hostile_spec(to_spec_string(config)) == config for every parsed
+// config.
+std::string to_spec_string(const HostileConfig& config);
+
+// The shallow-buffer scenarios shrink the WAN bottleneck before the world
+// is built (a topology property, not a traffic source). Callers mutate
+// their TopologyConfig with this before constructing the Experiment;
+// returns true when a shrink was applied.
+bool apply_shallow_buffer(const HostileConfig& config,
+                          std::size_t& wan_queue_packets);
 
 // One host's side of the synchronized fan-in: at incast_start +
 // k*incast_interval (absolute simulation times, so every source across

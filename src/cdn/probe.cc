@@ -151,6 +151,7 @@ void ProbeClient::fire(Task& task) {
   task.busy = true;
   task.received = 0;
   task.started = sim_.now();
+  ++issued_;
 
   // Reuse the target's idle pooled connection when it is healthy and idle.
   const auto it = pool_.find(task.target.address.value());
@@ -205,6 +206,30 @@ void ProbeClient::complete(Task& task) {
     st->owner = nullptr;
     release_to_pool(std::move(st));
   }
+}
+
+std::size_t ProbeClient::probes_in_flight() const {
+  std::size_t busy = 0;
+  for (const auto& task : tasks_) {
+    if (task.busy) ++busy;
+  }
+  return busy;
+}
+
+std::size_t ProbeClient::stalled_probes() const {
+  // A busy task whose connection is gone (or known dead) will never see
+  // on_data or on_closed again: the probe is silently wedged. on_closed
+  // frees the task on every teardown path, so any nonzero count here is a
+  // lost-callback bug.
+  std::size_t stalled = 0;
+  for (const auto& task : tasks_) {
+    if (!task.busy) continue;
+    if (task.active == nullptr || task.active->dead ||
+        task.active->conn == nullptr) {
+      ++stalled;
+    }
+  }
+  return stalled;
 }
 
 void ProbeClient::release_to_pool(std::shared_ptr<ConnState> st) {

@@ -105,6 +105,15 @@ class ProbeClient {
   std::uint64_t fresh_connections_opened() const { return fresh_opened_; }
   std::uint64_t reuses() const { return reused_; }
 
+  // Accounting surface for the chaos liveness oracle: every probe launched
+  // must end up completed, failed, or still visibly in flight —
+  //   probes_issued() == probes_completed() + probes_failed() + in_flight()
+  // holds at all times, and an in-flight probe whose connection has died
+  // without the client noticing shows up in stalled_probes().
+  std::uint64_t probes_issued() const { return issued_; }
+  std::size_t probes_in_flight() const;
+  std::size_t stalled_probes() const;
+
  private:
   struct Task;
 
@@ -155,6 +164,7 @@ class ProbeClient {
   std::deque<Round> rounds_;  // one per target
   // Idle slot per target (capacity 1, per the paper's reuse policy).
   std::map<std::uint32_t, std::shared_ptr<ConnState>> pool_;
+  std::uint64_t issued_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t skipped_busy_ = 0;

@@ -1,0 +1,235 @@
+#include "chaos/engine.h"
+
+#include "sim/random.h"
+
+namespace riptide::chaos {
+
+namespace {
+
+// Interleave a golden run into every 16-spec block: long campaigns keep
+// re-proving the knobs-off bit-identity pin between adversarial draws,
+// so a determinism regression surfaces from the same campaign that hunts
+// logic bugs.
+constexpr std::size_t kGoldenEvery = 16;
+
+sim::Time pick_at(sim::Rng& rng, double duration_s) {
+  return sim::Time::from_seconds(static_cast<double>(
+      rng.uniform_int(3, std::max<std::int64_t>(4, static_cast<std::int64_t>(
+                                                       duration_s * 2 / 3)))));
+}
+
+// A random WAN pair in [0, pops).
+void pick_link(sim::Rng& rng, std::size_t pops, std::size_t& a,
+               std::size_t& b) {
+  a = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pops) - 1));
+  b = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(pops) - 2));
+  if (b >= a) ++b;  // distinct PoPs
+}
+
+// One random fault leg. Agent-targeted kinds (crash, drift, corrupt,
+// actuator/poll decorators) are only drawn when the policy actually runs
+// agents; a world without a Riptide agent has nothing for them to hit.
+void add_fault_leg(sim::Rng& rng, faults::FaultPlan& plan, std::size_t pops,
+                   int hosts, double duration_s, bool has_agents) {
+  const sim::Time at = pick_at(rng, duration_s);
+  std::size_t a = 0, b = 0;
+  const std::int64_t kind = rng.uniform_int(0, has_agents ? 9 : 4);
+  switch (kind) {
+    case 0:  // transient partition: down then up 5 s later
+      pick_link(rng, pops, a, b);
+      plan.link_down(at, a, b);
+      plan.link_up(at + sim::Time::seconds(5), a, b);
+      break;
+    case 1:
+      pick_link(rng, pops, a, b);
+      plan.link_flap(at, a, b, sim::Time::seconds(2),
+                     static_cast<int>(rng.uniform_int(2, 6)));
+      break;
+    case 2:
+      pick_link(rng, pops, a, b);
+      plan.loss_burst(at, a, b, rng.uniform(0.01, 0.2),
+                      sim::Time::seconds(10));
+      break;
+    case 3:
+      pick_link(rng, pops, a, b);
+      plan.rate_factor(at, a, b, rng.uniform(0.25, 0.75),
+                       sim::Time::seconds(10));
+      break;
+    case 4:
+      pick_link(rng, pops, a, b);
+      plan.extra_delay(at, a, b, rng.uniform(10.0, 50.0),
+                       sim::Time::seconds(10));
+      break;
+    case 5:
+      plan.actuator_failures(at, rng.uniform(0.1, 0.5),
+                             sim::Time::seconds(15));
+      break;
+    case 6:
+      plan.poll_failures(at, rng.uniform(0.1, 0.5), sim::Time::seconds(15));
+      break;
+    case 7:
+      plan.poll_partial(at, rng.uniform(0.2, 0.8), sim::Time::seconds(15));
+      break;
+    case 8: {
+      const int host = static_cast<int>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pops) * hosts - 1));
+      const std::int64_t mode = rng.uniform_int(0, 2);
+      plan.agent_crash(at, host, sim::Time::seconds(5),
+                       /*warm=*/mode != 1, /*flush_routes=*/mode == 2);
+      break;
+    }
+    case 9: {
+      const int host = static_cast<int>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pops) * hosts - 1));
+      plan.route_drift(at, host, rng.uniform(0.0, 0.8),
+                       rng.uniform(0.0, 0.8));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+policy::PolicySpec pick_policy(sim::Rng& rng) {
+  policy::PolicySpec spec;
+  switch (rng.uniform_int(0, 7)) {
+    case 0:
+    case 1:
+      spec.kind = policy::PolicyKind::kAdaptive;
+      break;
+    case 2:
+    case 3:
+      spec.kind = policy::PolicyKind::kAdaptive;
+      spec.governed = true;
+      break;
+    case 4:
+      spec.kind = policy::PolicyKind::kAdaptive;
+      spec.governed = true;
+      spec.prefix_length = 24;
+      break;
+    case 5:
+      spec.kind = policy::PolicyKind::kStaticIw;
+      spec.static_iw = 32;
+      break;
+    case 6:
+      spec.kind = policy::PolicyKind::kOracle;
+      break;
+    default:
+      spec.kind = policy::PolicyKind::kDefault;
+      break;
+  }
+  return spec;
+}
+
+cdn::HostileConfig pick_hostile(sim::Rng& rng, std::size_t pops) {
+  cdn::HostileConfig hostile;
+  switch (rng.uniform_int(0, 5)) {
+    case 0:
+    case 1:
+    case 2:
+      break;  // none: half the campaign runs clean scenarios
+    case 3:
+      hostile.kind = cdn::HostileKind::kShallowBuffer;
+      hostile.queue_packets = 64;
+      break;
+    case 4:
+      hostile.kind = cdn::HostileKind::kIncast;
+      hostile.victim_pop = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pops) - 1));
+      hostile.fanin_connections = 4;
+      hostile.burst_bytes = 50'000;
+      break;
+    default:
+      hostile.kind = cdn::HostileKind::kFlashCrowd;
+      hostile.crowd_at = sim::Time::seconds(10);
+      hostile.crowd_connections = 8;
+      hostile.crowd_bytes = 100'000;
+      hostile.crowd_period = sim::Time::seconds(10);
+      break;
+  }
+  return hostile;
+}
+
+}  // namespace
+
+ChaosSpec generate_spec(std::uint64_t campaign_seed, std::size_t index) {
+  if (index % kGoldenEvery == kGoldenEvery - 1) {
+    ChaosSpec spec = ChaosSpec::golden_spec();
+    spec.seed = 42;  // the pinned-CRC seed: arms the fingerprint oracle
+    return spec;
+  }
+  // A fresh base Rng per call makes generation a pure function of
+  // (campaign_seed, index) — campaigns can be replayed or sampled at any
+  // index without executing the prefix.
+  sim::Rng base(campaign_seed);
+  sim::Rng rng = base.fork(index);
+
+  ChaosSpec spec;
+  spec.pops = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  spec.hosts = static_cast<int>(rng.uniform_int(1, 2));
+  spec.duration_s = static_cast<double>(20 + 10 * rng.uniform_int(0, 2));
+  spec.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+  switch (rng.uniform_int(0, 4)) {
+    case 0:
+    case 1:
+      spec.wan_loss = 0.0;
+      break;
+    case 2:
+      spec.wan_loss = 1e-4;
+      break;
+    case 3:
+      spec.wan_loss = 1e-3;
+      break;
+    default:
+      spec.wan_loss = 5e-3;
+      break;
+  }
+  spec.policy = pick_policy(rng);
+  spec.hostile = pick_hostile(rng, spec.pops);
+
+  const bool has_agents = spec.policy.kind == policy::PolicyKind::kAdaptive;
+  if (spec.policy.governed && rng.bernoulli(0.5)) {
+    spec.budget_override =
+        static_cast<std::uint32_t>(60 * rng.uniform_int(1, 4));
+  }
+  const std::int64_t legs = rng.uniform_int(0, 3);
+  for (std::int64_t i = 0; i < legs; ++i) {
+    add_fault_leg(rng, spec.faults, spec.pops, spec.hosts, spec.duration_s,
+                  has_agents);
+  }
+  return spec;
+}
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  for (std::size_t index = 0; index < config.runs; ++index) {
+    const ChaosSpec spec = generate_spec(config.seed, index);
+    if (spec.golden) ++result.golden_runs;
+    const RunResult run = run_chaos_spec(spec);
+    ++result.runs;
+    if (config.on_run) config.on_run(index, spec, run);
+    if (run.violations.empty()) continue;
+
+    CampaignFinding finding;
+    finding.index = index;
+    finding.spec = spec;
+    finding.violations = run.violations;
+    if (config.shrink) {
+      ShrinkResult shrunk = shrink(spec, run.violations.front().oracle,
+                                   config.max_shrink_runs);
+      finding.minimized = shrunk.spec;
+      finding.minimized_violations = std::move(shrunk.violations);
+      finding.shrink_runs = shrunk.runs;
+      result.shrink_runs += shrunk.runs;
+    } else {
+      finding.minimized = spec;
+      finding.minimized_violations = run.violations;
+    }
+    result.findings.push_back(std::move(finding));
+  }
+  return result;
+}
+
+}  // namespace riptide::chaos

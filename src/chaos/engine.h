@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "chaos/oracle.h"
+#include "chaos/shrink.h"
+#include "chaos/spec.h"
+
+namespace riptide::chaos {
+
+// Campaign parameters. A campaign is a pure function of (seed, runs):
+// re-running it reproduces the same specs, the same violations, and the
+// same minimized repros.
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  std::size_t runs = 100;
+  // Delta-debug each finding to a minimal repro (costs extra runs).
+  bool shrink = true;
+  std::size_t max_shrink_runs = 64;
+  // Observer invoked after each run completes (progress reporting);
+  // observation only — must not influence the campaign.
+  std::function<void(std::size_t index, const ChaosSpec& spec,
+                     const RunResult& result)>
+      on_run;
+};
+
+// One spec whose run violated at least one oracle, plus its shrunk form.
+struct CampaignFinding {
+  std::size_t index = 0;
+  ChaosSpec spec;
+  std::vector<Violation> violations;
+  // Minimized against the first violation's oracle; equals `spec` when
+  // shrinking was disabled.
+  ChaosSpec minimized;
+  std::vector<Violation> minimized_violations;
+  std::size_t shrink_runs = 0;
+};
+
+struct CampaignResult {
+  std::size_t runs = 0;
+  std::size_t golden_runs = 0;
+  std::size_t shrink_runs = 0;
+  std::vector<CampaignFinding> findings;
+};
+
+// The spec executed at `index` of a campaign seeded `campaign_seed`:
+// a deterministic draw over the cross product of world shapes, the
+// policy zoo, hostile scenarios, and fault-plan legs. Every 16th index
+// is the golden determinism spec, so long campaigns keep re-checking the
+// bit-identity pin alongside the adversarial draws.
+ChaosSpec generate_spec(std::uint64_t campaign_seed, std::size_t index);
+
+// Runs the campaign: generate, execute against the oracles, and shrink
+// each finding. Deterministic for a given config (modulo on_run, which
+// only observes).
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace riptide::chaos

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "chaos/oracle.h"
+#include "chaos/spec.h"
+
+namespace riptide::chaos {
+
+// Outcome of delta-debugging a failing spec.
+struct ShrinkResult {
+  // The minimized spec: no single candidate reduction still reproduces
+  // the violation (1-minimal under the reduction set, or the budget ran
+  // out first).
+  ChaosSpec spec;
+  // Violations of the minimized spec from the final verification run —
+  // guaranteed to include the target oracle.
+  std::vector<Violation> violations;
+  // Candidate executions spent (each is one full chaos run).
+  std::size_t runs = 0;
+};
+
+// Greedy fixpoint delta-debugger: repeatedly tries ordered reductions —
+// drop one fault event, disable the hostile scenario, zero the WAN loss,
+// clear the budget override, halve the duration (floor 10 s), drop to
+// one host per PoP, remove the last PoP (when nothing references it),
+// collapse the policy granularity — accepting a reduction iff the
+// reduced spec still violates the SAME named oracle, restarting from the
+// accepted spec until no reduction survives or `max_runs` candidate
+// executions were spent.
+//
+// Determinism is what makes this sound: a run is a pure function of its
+// spec, so "still fails" is a property of the candidate, not of luck.
+// Golden specs are returned unshrunk — every field is pinned, so there
+// is nothing to reduce.
+ShrinkResult shrink(const ChaosSpec& failing, const std::string& oracle,
+                    std::size_t max_runs = 64);
+
+}  // namespace riptide::chaos

@@ -414,6 +414,15 @@ void RiptideAgent::apply_staleness_guard(
 // ------------------------------------------------------------------------
 
 void RiptideAgent::poll_once() {
+  const PollOutcome outcome = poll_once_impl();
+  // The hook fires inside the poll's own event callback: nothing can run
+  // between the poll body and the check, so oracles see the exact state
+  // the poll left behind.
+  if (post_poll_hook_) post_poll_hook_(*this, outcome);
+}
+
+PollOutcome RiptideAgent::poll_once_impl() {
+  PollOutcome outcome;
   ++stats_.polls;
   const sim::Time now = sim_.now();
 
@@ -435,7 +444,7 @@ void RiptideAgent::poll_once() {
     const GovernorState pre = governor_.state();
     if (governor_.in_cooldown(now)) {
       ++stats_.governor_cooldown_polls;
-      return;
+      return outcome;
     }
     if (pre == GovernorState::kCooldown) {
       // in_cooldown just performed the expiry transition back to normal.
@@ -447,13 +456,13 @@ void RiptideAgent::poll_once() {
       switch (governor_.assess(d_retrans, d_packets, now)) {
         case StagedAction::kScaleDown:
           staged_scale_down(before, fraction);
-          return;
+          return outcome;
         case StagedAction::kSelectiveWithdraw:
           staged_selective_withdraw(before, fraction);
-          return;
+          return outcome;
         case StagedAction::kRollback:
           emergency_rollback(now, fraction, trace::GovernorCause::kThreshold);
-          return;
+          return outcome;
         case StagedAction::kNone:
           if (before != governor_.state()) {
             // A healthy window de-escalated the ladder back to normal.
@@ -465,7 +474,7 @@ void RiptideAgent::poll_once() {
       }
     } else if (governor_.should_rollback(d_retrans, d_packets, now)) {
       emergency_rollback(now, fraction, trace::GovernorCause::kThreshold);
-      return;
+      return outcome;
     }
   }
 
@@ -473,7 +482,10 @@ void RiptideAgent::poll_once() {
   // observations: drift since the last poll (externally deleted or
   // mangled routes, orphans) is detected and counted here, where the
   // programming pass below would otherwise silently paper over it.
-  if (config_.reconcile_routes) reconcile_route_table();
+  if (config_.reconcile_routes) {
+    reconcile_route_table();
+    outcome.reconciled = true;
+  }
 
   // 1. Snapshot open connections. A failed poll is "no information", not
   // "no connections": skip folding *and* expiry — withdrawing routes
@@ -483,8 +495,9 @@ void RiptideAgent::poll_once() {
     snapshot = stats_source_->poll();
   } catch (const PollError&) {
     ++stats_.polls_failed;
-    return;
+    return outcome;
   }
+  outcome.snapshot_ok = true;
 
   // 2. Group by destination. Either read the snapshot directly or go
   // through the textual `ss` round-trip, exactly as the paper's
@@ -602,10 +615,14 @@ void RiptideAgent::poll_once() {
   // known.
   double scale = 1.0;
   std::map<net::Prefix, std::uint32_t, net::PrefixOrder> admissions;
-  const bool shed_fairness = governor_.config().budget_segments > 0 &&
+  const bool shed_fairness = !config_.test_skip_budget_enforcement &&
+                             governor_.config().budget_segments > 0 &&
                              governor_.config().budget_fairness ==
                                  BudgetFairness::kShedNewest;
-  if (shed_fairness) {
+  if (config_.test_skip_budget_enforcement) {
+    // Chaos-search fault hook: the budget stays configured but is not
+    // enforced, so the budget oracle can prove it catches the regression.
+  } else if (shed_fairness) {
     admissions = budget_shed_admissions();
     if (!admissions.empty()) ++stats_.governor_budget_sheds;
   } else if (governor_.config().budget_segments > 0) {
@@ -737,6 +754,8 @@ void RiptideAgent::poll_once() {
     withdraw_route(destination);
     ++stats_.routes_expired;
   }
+  outcome.completed = true;
+  return outcome;
 }
 
 void RiptideAgent::manual_rollback() {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -58,6 +59,22 @@ struct AgentStats {
   std::uint64_t governor_budget_sheds = 0;       // shed-newest polls enforced
   std::uint64_t governor_routes_budget_shed = 0;
   std::uint64_t governor_storm_escalations = 0;  // cooldowns grown by storms
+};
+
+// How one poll_once() iteration ended, handed to the post-poll hook so
+// invariant checkers (src/chaos) know which guarantees the poll actually
+// established. A poll that bailed early — cooldown, a staged governor
+// action, or a failed snapshot — never reached the budget-enforcement and
+// expiry passes, so the corresponding invariants must not be judged on it.
+struct PollOutcome {
+  // Reached the end of the poll body: reconcile, fold, budget enforcement,
+  // staleness guard and expiry all ran.
+  bool completed = false;
+  // reconcile_route_table() ran this poll (requires config.reconcile_routes
+  // and no governor early-exit before it).
+  bool reconciled = false;
+  // The `ss` snapshot succeeded (false on PollError or early exits).
+  bool snapshot_ok = false;
 };
 
 // The Riptide agent (paper Algorithm 1). Runs on one host, entirely from
@@ -127,6 +144,16 @@ class RiptideAgent {
   // agent deterministically.
   void poll_once();
 
+  // Observation hook for invariant oracles (src/chaos): invoked at the end
+  // of every poll_once() — including early exits — with how the poll
+  // ended. The hook runs inside the poll's event callback, so no other
+  // simulation event can interleave between the poll body and the check.
+  // Null (the default) costs one branch; behavior is otherwise unchanged.
+  using PostPollHook = std::function<void(RiptideAgent&, const PollOutcome&)>;
+  void set_post_poll_hook(PostPollHook hook) {
+    post_poll_hook_ = std::move(hook);
+  }
+
   // §V: operator hook for higher-level signals. A nonzero cap bounds every
   // programmed window below `cap_segments` (e.g. a load balancer about to
   // shift traffic onto this node's paths asks for conservative windows to
@@ -165,6 +192,19 @@ class RiptideAgent {
 
   // Route programs/clears awaiting an actuator retry.
   std::size_t pending_actuator_ops() const { return pending_ops_.size(); }
+  // Whether a retry is pending for this destination. Oracles exclude such
+  // destinations: the agent knows they are inconsistent and is fixing them.
+  bool has_pending_op(const net::Prefix& destination) const {
+    return pending_ops_.contains(destination);
+  }
+
+  // The routes this agent believes it has installed in the host routing
+  // table (successful programs minus successful withdrawals) — the "ours"
+  // side the reconciler and the chaos oracles diff against the live table.
+  const std::map<net::Prefix, host::RouteMetrics, net::PrefixOrder>&
+  installed_routes() const {
+    return installed_;
+  }
 
  private:
   // One observed connection's loss-recovery counters at the previous
@@ -185,6 +225,7 @@ class RiptideAgent {
   };
 
   static GovernorConfig governor_config(const RiptideConfig& config);
+  PollOutcome poll_once_impl();
   double clamp_window(double value) const;
   // -- decision-audit tracing (src/trace) --
   // Emit one route-lifecycle / program-outcome record; no-ops costing a
@@ -233,6 +274,7 @@ class RiptideAgent {
   sim::Rng* rng_ = nullptr;
   ObservedTable table_;
   sim::EventHandle poll_timer_;
+  PostPollHook post_poll_hook_;
   bool running_ = false;
   bool started_once_ = false;
   std::uint32_t window_cap_segments_ = 0;

@@ -177,6 +177,13 @@ struct RiptideConfig {
   double governor_storm_backoff_factor = 1.0;
   sim::Time governor_max_cooldown = sim::Time::seconds(480);
   sim::Time governor_storm_memory = sim::Time::seconds(120);
+
+  // Test-only fault hook: silently skip the governor's budget enforcement
+  // (both the proportional scale-down and the shed-newest admission pass)
+  // while leaving the budget configured. Exists so the chaos-search suite
+  // (src/chaos) can prove its budget oracle actually detects a governor
+  // whose enforcement regressed; never set outside tests.
+  bool test_skip_budget_enforcement = false;
 };
 
 }  // namespace riptide::core

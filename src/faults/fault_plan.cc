@@ -1,8 +1,10 @@
 #include "faults/fault_plan.h"
 
 #include <cctype>
-#include <sstream>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace riptide::faults {
 
@@ -131,169 +133,293 @@ FaultPlan& FaultPlan::route_drift(sim::Time at, int host_index,
   return add(ev);
 }
 
-namespace {
-
-[[noreturn]] void fail(const std::string& what, const std::string& fragment) {
-  throw std::invalid_argument("FaultPlan::parse: " + what + " in \"" +
-                              fragment + "\"");
+bool operator==(const FaultEvent& a, const FaultEvent& b) {
+  return a.at == b.at && a.kind == b.kind && a.pop_a == b.pop_a &&
+         a.pop_b == b.pop_b && a.value == b.value && a.value2 == b.value2 &&
+         a.duration == b.duration && a.count == b.count &&
+         a.host_index == b.host_index && a.warm == b.warm &&
+         a.flush_routes == b.flush_routes;
 }
 
-double parse_number(const std::string& token, const std::string& fragment) {
+namespace {
+
+// A token plus its byte offset in the full spec string, so every parse
+// error can localize the failure ("at byte N: 'token'") — required by the
+// --validate-only surface and by the fuzz harness triage workflow.
+struct Token {
+  std::string text;
+  std::size_t offset = 0;
+};
+
+[[noreturn]] void fail(const std::string& what, const Token& tok) {
+  throw std::invalid_argument("FaultPlan::parse: " + what + " at byte " +
+                              std::to_string(tok.offset) + ": '" + tok.text +
+                              "'");
+}
+
+double parse_number(const Token& token) {
   std::size_t consumed = 0;
   double value = 0.0;
   try {
-    value = std::stod(token, &consumed);
+    value = std::stod(token.text, &consumed);
   } catch (...) {
-    fail("bad number '" + token + "'", fragment);
+    fail("bad number", token);
   }
-  if (consumed != token.size()) fail("bad number '" + token + "'", fragment);
+  if (consumed != token.text.size()) fail("bad number", token);
   return value;
 }
 
 // "A-B" -> PoP pair.
-void parse_link(const std::string& token, const std::string& fragment,
-                std::size_t& a, std::size_t& b) {
-  const auto dash = token.find('-');
-  if (dash == std::string::npos || dash == 0 || dash + 1 >= token.size()) {
-    fail("bad link '" + token + "' (want A-B)", fragment);
+void parse_link(const Token& token, std::size_t& a, std::size_t& b) {
+  const auto dash = token.text.find('-');
+  if (dash == std::string::npos || dash == 0 ||
+      dash + 1 >= token.text.size()) {
+    fail("bad link (want A-B)", token);
   }
-  const double da = parse_number(token.substr(0, dash), fragment);
-  const double db = parse_number(token.substr(dash + 1), fragment);
+  const double da =
+      parse_number({token.text.substr(0, dash), token.offset});
+  const double db =
+      parse_number({token.text.substr(dash + 1), token.offset + dash + 1});
   if (da < 0 || db < 0 || da != static_cast<std::size_t>(da) ||
       db != static_cast<std::size_t>(db)) {
-    fail("bad link '" + token + "' (want nonnegative integers)", fragment);
+    fail("bad link (want nonnegative integers)", token);
   }
   a = static_cast<std::size_t>(da);
   b = static_cast<std::size_t>(db);
-  if (a == b) fail("bad link '" + token + "' (identical endpoints)", fragment);
+  if (a == b) fail("bad link (identical endpoints)", token);
+}
+
+// Shortest decimal form that round-trips through parse_number, so the
+// canonical serializer below reproduces the exact double (and therefore
+// the exact sim::Time) on re-parse.
+std::string format_double(double value) {
+  char buf[64];
+  for (int precision : {6, 9, 15, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string format_seconds(sim::Time t) {
+  return format_double(t.to_seconds());
 }
 
 }  // namespace
 
+std::string to_spec_string(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultEvent& ev : plan.events()) {
+    if (!out.empty()) out += "; ";
+    out += "@" + format_seconds(ev.at) + " ";
+    const std::string link = std::to_string(ev.pop_a) + "-" +
+                             std::to_string(ev.pop_b);
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+        out += "down " + link;
+        break;
+      case FaultKind::kLinkUp:
+        out += "up " + link;
+        break;
+      case FaultKind::kLinkFlap:
+        out += "flap " + link + " " + format_seconds(ev.duration) + " " +
+               std::to_string(ev.count);
+        break;
+      case FaultKind::kLossBurst:
+        out += "loss " + link + " " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kRateChange:
+        out += "rate " + link + " " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kDelayChange:
+        out += "delay " + link + " " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kActuatorFail:
+        out += "actuator-fail " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kPollFail:
+        out += "poll-fail " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kPollPartial:
+        out += "poll-partial " + format_double(ev.value) + " " +
+               format_seconds(ev.duration);
+        break;
+      case FaultKind::kAgentCrash:
+        out += "crash " + std::to_string(ev.host_index) + " " +
+               format_seconds(ev.duration) + " ";
+        if (ev.warm) {
+          out += ev.flush_routes ? "reboot-warm" : "warm";
+        } else {
+          out += ev.flush_routes ? "reboot-cold" : "cold";
+        }
+        break;
+      case FaultKind::kSnapshotCorrupt:
+        out += "snap-corrupt " + std::to_string(ev.host_index) + " " +
+               std::to_string(static_cast<std::size_t>(ev.value));
+        break;
+      case FaultKind::kRouteDrift:
+        out += "route-drift " + std::to_string(ev.host_index) + " " +
+               format_double(ev.value) + " " + format_double(ev.value2);
+        break;
+    }
+  }
+  return out;
+}
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
   FaultPlan plan;
-  std::istringstream events(spec);
-  std::string fragment;
-  while (std::getline(events, fragment, ';')) {
-    std::istringstream fields(fragment);
-    std::vector<std::string> tok;
-    std::string t;
-    while (fields >> t) tok.push_back(t);
-    if (tok.empty()) continue;  // empty fragment (trailing ';', blank spec)
+  std::size_t frag_start = 0;
+  while (frag_start <= spec.size()) {
+    std::size_t frag_end = spec.find(';', frag_start);
+    if (frag_end == std::string::npos) frag_end = spec.size();
 
-    if (tok[0].size() < 2 || tok[0][0] != '@') {
-      fail("expected '@SECONDS' to lead the event", fragment);
+    std::vector<Token> tok;
+    for (std::size_t i = frag_start; i < frag_end;) {
+      while (i < frag_end &&
+             std::isspace(static_cast<unsigned char>(spec[i]))) {
+        ++i;
+      }
+      if (i >= frag_end) break;
+      std::size_t j = i;
+      while (j < frag_end &&
+             !std::isspace(static_cast<unsigned char>(spec[j]))) {
+        ++j;
+      }
+      tok.push_back({spec.substr(i, j - i), i});
+      i = j;
     }
-    const sim::Time at =
-        sim::Time::from_seconds(parse_number(tok[0].substr(1), fragment));
-    if (at < sim::Time::zero()) fail("negative event time", fragment);
-    if (tok.size() < 2) fail("missing action", fragment);
-    const std::string& action = tok[1];
-    const auto want = [&](std::size_t n) {
-      if (tok.size() != 2 + n) {
-        fail("'" + action + "' takes " + std::to_string(n) + " argument(s)",
-             fragment);
+    const auto advance = [&] {
+      if (frag_end == spec.size()) {
+        frag_start = spec.size() + 1;  // terminate the outer loop
+      } else {
+        frag_start = frag_end + 1;
       }
     };
-    const auto probability = [&](const std::string& token) {
-      const double p = parse_number(token, fragment);
-      if (p < 0.0 || p > 1.0) fail("probability outside [0, 1]", fragment);
+    if (tok.empty()) {  // empty fragment (trailing ';', blank spec)
+      advance();
+      continue;
+    }
+
+    if (tok[0].text.size() < 2 || tok[0].text[0] != '@') {
+      fail("expected '@SECONDS' to lead the event", tok[0]);
+    }
+    const sim::Time at = sim::Time::from_seconds(
+        parse_number({tok[0].text.substr(1), tok[0].offset + 1}));
+    if (at < sim::Time::zero()) fail("negative event time", tok[0]);
+    if (tok.size() < 2) fail("missing action", tok[0]);
+    const Token& action = tok[1];
+    const auto want = [&](std::size_t n) {
+      if (tok.size() != 2 + n) {
+        fail("'" + action.text + "' takes " + std::to_string(n) +
+                 " argument(s)",
+             tok.size() > 2 + n ? tok[2 + n] : action);
+      }
+    };
+    const auto probability = [&](const Token& token) {
+      const double p = parse_number(token);
+      if (p < 0.0 || p > 1.0) fail("probability outside [0, 1]", token);
       return p;
     };
-    const auto seconds = [&](const std::string& token) {
-      const double s = parse_number(token, fragment);
-      if (s < 0.0) fail("negative duration", fragment);
+    const auto seconds = [&](const Token& token) {
+      const double s = parse_number(token);
+      if (s < 0.0) fail("negative duration", token);
       return sim::Time::from_seconds(s);
     };
 
     std::size_t a = 0, b = 0;
-    if (action == "down") {
+    if (action.text == "down") {
       want(1);
-      parse_link(tok[2], fragment, a, b);
+      parse_link(tok[2], a, b);
       plan.link_down(at, a, b);
-    } else if (action == "up") {
+    } else if (action.text == "up") {
       want(1);
-      parse_link(tok[2], fragment, a, b);
+      parse_link(tok[2], a, b);
       plan.link_up(at, a, b);
-    } else if (action == "flap") {
+    } else if (action.text == "flap") {
       want(3);
-      parse_link(tok[2], fragment, a, b);
+      parse_link(tok[2], a, b);
       const sim::Time period = seconds(tok[3]);
-      const double count = parse_number(tok[4], fragment);
+      const double count = parse_number(tok[4]);
       if (count < 1 || count != static_cast<int>(count)) {
-        fail("flap count must be a positive integer", fragment);
+        fail("flap count must be a positive integer", tok[4]);
       }
       plan.link_flap(at, a, b, period, static_cast<int>(count));
-    } else if (action == "loss") {
+    } else if (action.text == "loss") {
       want(3);
-      parse_link(tok[2], fragment, a, b);
+      parse_link(tok[2], a, b);
       plan.loss_burst(at, a, b, probability(tok[3]), seconds(tok[4]));
-    } else if (action == "rate") {
+    } else if (action.text == "rate") {
       want(3);
-      parse_link(tok[2], fragment, a, b);
-      const double factor = parse_number(tok[3], fragment);
-      if (factor <= 0.0) fail("rate factor must be positive", fragment);
+      parse_link(tok[2], a, b);
+      const double factor = parse_number(tok[3]);
+      if (factor <= 0.0) fail("rate factor must be positive", tok[3]);
       plan.rate_factor(at, a, b, factor, seconds(tok[4]));
-    } else if (action == "delay") {
+    } else if (action.text == "delay") {
       want(3);
-      parse_link(tok[2], fragment, a, b);
-      const double ms = parse_number(tok[3], fragment);
-      if (ms < 0.0) fail("negative extra delay", fragment);
+      parse_link(tok[2], a, b);
+      const double ms = parse_number(tok[3]);
+      if (ms < 0.0) fail("negative extra delay", tok[3]);
       plan.extra_delay(at, a, b, ms, seconds(tok[4]));
-    } else if (action == "actuator-fail") {
+    } else if (action.text == "actuator-fail") {
       want(2);
       plan.actuator_failures(at, probability(tok[2]), seconds(tok[3]));
-    } else if (action == "poll-fail") {
+    } else if (action.text == "poll-fail") {
       want(2);
       plan.poll_failures(at, probability(tok[2]), seconds(tok[3]));
-    } else if (action == "poll-partial") {
+    } else if (action.text == "poll-partial") {
       want(2);
       plan.poll_partial(at, probability(tok[2]), seconds(tok[3]));
-    } else if (action == "crash") {
+    } else if (action.text == "crash") {
       want(3);
-      const double host = parse_number(tok[2], fragment);
+      const double host = parse_number(tok[2]);
       if (host < -1 || host != static_cast<int>(host)) {
-        fail("crash host must be an index or -1 (all)", fragment);
+        fail("crash host must be an index or -1 (all)", tok[2]);
       }
       bool warm = false;
       bool flush = false;
-      if (tok[4] == "warm") {
+      if (tok[4].text == "warm") {
         warm = true;
-      } else if (tok[4] == "reboot-warm") {
+      } else if (tok[4].text == "reboot-warm") {
         warm = true;
         flush = true;
-      } else if (tok[4] == "reboot-cold") {
+      } else if (tok[4].text == "reboot-cold") {
         flush = true;
-      } else if (tok[4] != "cold") {
+      } else if (tok[4].text != "cold") {
         fail("crash mode must be 'warm', 'cold', 'reboot-warm' or "
              "'reboot-cold'",
-             fragment);
+             tok[4]);
       }
       plan.agent_crash(at, static_cast<int>(host), seconds(tok[3]), warm,
                        flush);
-    } else if (action == "snap-corrupt") {
+    } else if (action.text == "snap-corrupt") {
       want(2);
-      const double host = parse_number(tok[2], fragment);
+      const double host = parse_number(tok[2]);
       if (host < -1 || host != static_cast<int>(host)) {
-        fail("snap-corrupt host must be an index or -1 (all)", fragment);
+        fail("snap-corrupt host must be an index or -1 (all)", tok[2]);
       }
-      const double offset = parse_number(tok[3], fragment);
+      const double offset = parse_number(tok[3]);
       if (offset < 0 || offset != static_cast<std::size_t>(offset)) {
-        fail("snap-corrupt offset must be a nonnegative integer", fragment);
+        fail("snap-corrupt offset must be a nonnegative integer", tok[3]);
       }
       plan.snapshot_corrupt(at, static_cast<int>(host),
                             static_cast<std::size_t>(offset));
-    } else if (action == "route-drift") {
+    } else if (action.text == "route-drift") {
       want(3);
-      const double host = parse_number(tok[2], fragment);
+      const double host = parse_number(tok[2]);
       if (host < -1 || host != static_cast<int>(host)) {
-        fail("route-drift host must be an index or -1 (all)", fragment);
+        fail("route-drift host must be an index or -1 (all)", tok[2]);
       }
       plan.route_drift(at, static_cast<int>(host), probability(tok[3]),
                        probability(tok[4]));
     } else {
-      fail("unknown action '" + action + "'", fragment);
+      fail("unknown action", action);
     }
+    advance();
   }
   return plan;
 }

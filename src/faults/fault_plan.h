@@ -56,6 +56,9 @@ struct FaultEvent {
   bool flush_routes = false;
 };
 
+// Field-wise equality, for spec round-trip checks and the chaos shrinker.
+bool operator==(const FaultEvent& a, const FaultEvent& b);
+
 // A declarative, composable list of fault events. Build in code via the
 // fluent adders, or parse from a compact spec string:
 //
@@ -110,16 +113,26 @@ class FaultPlan {
   FaultPlan& route_drift(sim::Time at, int host_index, double delete_fraction,
                          double mangle_fraction);
 
-  // Throws std::invalid_argument with the offending fragment on malformed
-  // input. An empty (or all-whitespace) spec yields an empty plan.
+  // Throws std::invalid_argument naming the offending token and its byte
+  // offset on malformed input. An empty (or all-whitespace) spec yields an
+  // empty plan.
   static FaultPlan parse(const std::string& spec);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b) {
+    return a.events_ == b.events_;
+  }
+
  private:
   std::vector<FaultEvent> events_;
 };
+
+// Canonical spec string: parse(to_spec_string(plan)) == plan for every
+// plan whose events came from parse or the fluent builders. The shrinker
+// (src/chaos) leans on this to re-serialize reduced plans.
+std::string to_spec_string(const FaultPlan& plan);
 
 }  // namespace riptide::faults

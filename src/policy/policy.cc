@@ -42,24 +42,31 @@ std::string to_string(const PolicySpec& spec) {
   return out;
 }
 
+bool operator==(const PolicySpec& a, const PolicySpec& b) {
+  return a.kind == b.kind && a.static_iw == b.static_iw &&
+         a.prefix_length == b.prefix_length && a.governed == b.governed;
+}
+
 namespace {
 
-[[noreturn]] void bad_policy(const std::string& why) {
-  throw std::invalid_argument("parse_policy: " + why);
+[[noreturn]] void bad_policy(const std::string& why, const std::string& token,
+                             std::size_t offset) {
+  throw std::invalid_argument("parse_policy: " + why + " at byte " +
+                              std::to_string(offset) + ": '" + token + "'");
 }
 
 std::uint64_t parse_number(const std::string& text, std::uint64_t min,
-                           std::uint64_t max) {
-  if (text.empty()) bad_policy("empty number");
+                           std::uint64_t max, std::size_t offset) {
+  if (text.empty()) bad_policy("empty number", text, offset);
   for (char c : text) {
-    if (c < '0' || c > '9') bad_policy("bad number '" + text + "'");
+    if (c < '0' || c > '9') bad_policy("bad number", text, offset);
   }
   errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
   if (errno != 0 || end != text.c_str() + text.size() || value < min ||
       value > max) {
-    bad_policy("number out of range '" + text + "'");
+    bad_policy("number out of range", text, offset);
   }
   return value;
 }
@@ -73,11 +80,11 @@ PolicySpec parse_policy(const std::string& text) {
   if (at != std::string::npos) {
     base = text.substr(0, at);
     spec.prefix_length =
-        static_cast<int>(parse_number(text.substr(at + 1), 8, 32));
+        static_cast<int>(parse_number(text.substr(at + 1), 8, 32, at + 1));
   }
   if (base == "default") {
     if (at != std::string::npos) {
-      bad_policy("'default' takes no granularity");
+      bad_policy("'default' takes no granularity", text.substr(at), at);
     }
     spec.kind = PolicyKind::kDefault;
   } else if (base == "adaptive") {
@@ -90,9 +97,9 @@ PolicySpec parse_policy(const std::string& text) {
   } else if (base.rfind("static-iw", 0) == 0) {
     spec.kind = PolicyKind::kStaticIw;
     spec.static_iw = static_cast<std::uint32_t>(
-        parse_number(base.substr(9), 1, 1000));
+        parse_number(base.substr(9), 1, 1000, 9));
   } else {
-    bad_policy("unknown policy '" + base + "'");
+    bad_policy("unknown policy", base, 0);
   }
   return spec;
 }

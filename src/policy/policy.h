@@ -33,6 +33,9 @@ struct PolicySpec {
   bool governed = false;
 };
 
+// Field-wise equality, for spec round-trip checks and the chaos shrinker.
+bool operator==(const PolicySpec& a, const PolicySpec& b);
+
 // Canonical spec name, e.g. "static-iw50@24", "adaptive-governed",
 // "oracle@20", "default". Round-trips through parse_policy.
 std::string to_string(const PolicySpec& spec);

@@ -132,6 +132,10 @@ class TcpConnection {
   }
   std::uint64_t ssthresh_bytes() const { return cc_->ssthresh_bytes(); }
   std::uint64_t bytes_in_flight() const { return snd_nxt_ - snd_una_; }
+  // Liveness introspection for invariant checkers: unacked data with no
+  // armed retransmit timer would be a silent stall (nothing will ever
+  // retry), which is exactly what the chaos stall oracle looks for.
+  bool rto_armed() const { return rto_armed_; }
   std::uint64_t bytes_acked() const;
   std::uint64_t bytes_received() const;
   std::optional<sim::Time> srtt() const;

@@ -13,7 +13,10 @@
 #include <set>
 #include <vector>
 
+#include "cdn/hostile.h"
 #include "core/agent.h"
+#include "faults/fault_plan.h"
+#include "policy/policy.h"
 #include "sim/random.h"
 #include "stats/cdf.h"
 #include "tcp/congestion_control.h"
@@ -272,6 +275,176 @@ TEST_P(CdfReferenceTest, QuantilesMatchSortedReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CdfReferenceTest,
                          ::testing::Values(7u, 77u, 777u));
+
+// ------------------------------------ scenario grammar round-trip property
+//
+// The chaos engine (src/chaos) re-serializes shrunk scenarios through these
+// codecs, so parse(to_string(x)) == x must hold for every representable
+// value, not just the handful of specs written by hand in other suites.
+// Times are drawn as multiples of 0.5 s: exactly representable through the
+// seconds<->Time conversion either side of the codec.
+
+Time half_seconds(sim::Rng& rng, std::int64_t min_halves,
+                  std::int64_t max_halves) {
+  return Time::milliseconds(rng.uniform_int(min_halves, max_halves) * 500);
+}
+
+double pick_fraction(sim::Rng& rng) {
+  constexpr double kChoices[] = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9, 1.0};
+  return kChoices[rng.uniform_int(0, 7)];
+}
+
+faults::FaultPlan random_fault_plan(sim::Rng& rng) {
+  faults::FaultPlan plan;
+  const int legs = static_cast<int>(rng.uniform_int(1, 6));
+  for (int i = 0; i < legs; ++i) {
+    const Time at = half_seconds(rng, 1, 120);
+    const Time duration = half_seconds(rng, 1, 60);
+    const auto pop_a = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const auto pop_b = pop_a + 1;
+    const int host = static_cast<int>(rng.uniform_int(-1, 7));
+    switch (rng.uniform_int(0, 11)) {
+      case 0:
+        plan.link_down(at, pop_a, pop_b);
+        break;
+      case 1:
+        plan.link_up(at, pop_a, pop_b);
+        break;
+      case 2:
+        plan.link_flap(at, pop_a, pop_b, duration,
+                       static_cast<int>(rng.uniform_int(1, 8)));
+        break;
+      case 3:
+        plan.loss_burst(at, pop_a, pop_b, pick_fraction(rng), duration);
+        break;
+      case 4:
+        plan.rate_factor(at, pop_a, pop_b, 0.25 * rng.uniform_int(1, 16),
+                         duration);
+        break;
+      case 5:
+        plan.extra_delay(at, pop_a, pop_b, 0.5 * rng.uniform_int(1, 400),
+                         duration);
+        break;
+      case 6:
+        plan.actuator_failures(at, pick_fraction(rng), duration);
+        break;
+      case 7:
+        plan.poll_failures(at, pick_fraction(rng), duration);
+        break;
+      case 8:
+        plan.poll_partial(at, pick_fraction(rng), duration);
+        break;
+      case 9:
+        plan.agent_crash(at, host, duration, rng.bernoulli(0.5),
+                         rng.bernoulli(0.5));
+        break;
+      case 10:
+        plan.snapshot_corrupt(
+            at, host, static_cast<std::size_t>(rng.uniform_int(0, 4096)));
+        break;
+      default:
+        plan.route_drift(at, host, pick_fraction(rng), pick_fraction(rng));
+        break;
+    }
+  }
+  return plan;
+}
+
+cdn::HostileConfig random_hostile(sim::Rng& rng) {
+  cdn::HostileConfig config;
+  config.kind = static_cast<cdn::HostileKind>(rng.uniform_int(0, 4));
+  config.queue_packets = static_cast<std::size_t>(rng.uniform_int(1, 4096));
+  config.victim_pop = static_cast<std::size_t>(rng.uniform_int(0, 7));
+  config.fanin_connections = static_cast<int>(rng.uniform_int(1, 64));
+  config.burst_bytes =
+      static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000));
+  config.incast_start = half_seconds(rng, 1, 120);
+  config.incast_interval = half_seconds(rng, 1, 60);
+  config.crowd_at = half_seconds(rng, 1, 120);
+  config.crowd_connections = static_cast<int>(rng.uniform_int(1, 100));
+  config.crowd_bytes =
+      static_cast<std::uint64_t>(rng.uniform_int(1, 2'000'000));
+  config.crowd_repeats = static_cast<int>(rng.uniform_int(1, 8));
+  config.crowd_period = half_seconds(rng, 1, 120);
+  return config;
+}
+
+policy::PolicySpec random_policy(sim::Rng& rng) {
+  policy::PolicySpec spec;
+  spec.kind = static_cast<policy::PolicyKind>(rng.uniform_int(0, 3));
+  // Only fields the canonical string can express may stray from their
+  // defaults: "default" carries no granularity, static_iw prints only for
+  // static-iw, governed only for adaptive.
+  if (spec.kind != policy::PolicyKind::kDefault) {
+    constexpr int kPrefixes[] = {16, 20, 24, 28, 32};
+    spec.prefix_length = kPrefixes[rng.uniform_int(0, 4)];
+  }
+  if (spec.kind == policy::PolicyKind::kStaticIw) {
+    spec.static_iw = static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
+  }
+  if (spec.kind == policy::PolicyKind::kAdaptive) {
+    spec.governed = rng.bernoulli(0.5);
+  }
+  return spec;
+}
+
+class GrammarRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrammarRoundTripTest, FaultPlanSpecStringIsCanonical) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const faults::FaultPlan plan = random_fault_plan(rng);
+    const std::string spec = faults::to_spec_string(plan);
+    const faults::FaultPlan reparsed = faults::FaultPlan::parse(spec);
+    ASSERT_EQ(plan, reparsed) << spec;
+    ASSERT_EQ(spec, faults::to_spec_string(reparsed));
+  }
+}
+
+TEST_P(GrammarRoundTripTest, HostileSpecStringIsCanonical) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const cdn::HostileConfig config = random_hostile(rng);
+    const std::string spec = cdn::to_spec_string(config);
+    const cdn::HostileConfig reparsed = cdn::parse_hostile_spec(spec);
+    ASSERT_EQ(config, reparsed) << spec;
+    ASSERT_EQ(spec, cdn::to_spec_string(reparsed));
+  }
+}
+
+TEST_P(GrammarRoundTripTest, PolicySpecStringIsCanonical) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const policy::PolicySpec spec = random_policy(rng);
+    const std::string text = policy::to_string(spec);
+    const policy::PolicySpec reparsed = policy::parse_policy(text);
+    ASSERT_EQ(spec, reparsed) << text;
+    ASSERT_EQ(text, policy::to_string(reparsed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GrammarRoundTripTest,
+                         ::testing::Values(17u, 34u, 51u, 68u));
+
+// Every grammar rejection must point at the offending token by byte
+// offset — campaign logs and --validate-only lean on this.
+TEST(GrammarErrorTest, AllThreeGrammarsReportByteOffsets) {
+  const auto offset_of = [](const auto& parse) -> std::string {
+    try {
+      parse();
+    } catch (const std::invalid_argument& err) {
+      return err.what();
+    }
+    return "";
+  };
+  std::string what =
+      offset_of([] { (void)faults::FaultPlan::parse("@5 down 0-x"); });
+  EXPECT_NE(what.find("at byte 10"), std::string::npos) << what;
+  what = offset_of([] { (void)cdn::parse_hostile_spec("incast:victim=x"); });
+  EXPECT_NE(what.find("at byte 14"), std::string::npos) << what;
+  what = offset_of([] { (void)policy::parse_policy("adaptive@99"); });
+  EXPECT_NE(what.find("at byte 9"), std::string::npos) << what;
+}
 
 }  // namespace
 }  // namespace riptide

@@ -61,6 +61,21 @@ echo "==== hostile suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L hostile --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The chaos-search label (spec codec, invariant oracles, shrinker,
+# campaign engine, repro replay) re-runs under the sanitizers: a campaign
+# composes every other subsystem's failure modes in one process, so a
+# lifetime bug anywhere tends to surface here first.
+echo "==== chaos-search suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L chaos-search --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
+# Chaos campaign smoke (Release): a short seeded campaign end to end
+# through the CLI. A healthy tree must come back with zero findings; any
+# finding writes its minimized .min.spec next to the build for triage.
+echo "==== chaos campaign smoke (Release) ===="
+./build-ci-release/tools/riptide_sim --chaos 48 --chaos-seed 1 \
+  --chaos-out build-ci-release
+
 echo "==== event-queue throughput (Release) ===="
 ./build-ci-release/bench/bench_micro --queue-json
 

@@ -14,7 +14,10 @@
 //               [--pacing] [--threads N] [--sweep-seeds A,B,C]
 //               [--trace PATH.jsonl] [--trace-ring N]
 //               [--shards N] [--flow-traffic FLOWS_PER_SEC]
-//               [--policy NAME] [--hostile SPEC]
+//               [--policy NAME] [--hostile SPEC] [--faults SPEC]
+//               [--validate-only]
+//               [--chaos N] [--chaos-seed S] [--chaos-out DIR]
+//               [--repro FILE]
 //
 // With --sweep-seeds, the same scenario is run once per seed — fanned
 // across --threads workers (default: one per hardware thread) — and a
@@ -30,6 +33,19 @@
 // "shallow-buffer[:queue=N]", "incast[:victim=P,fanin=N,...]",
 // "flash-crowd[:at=S,conns=N,...]", "combined". Neither composes with
 // --shards.
+//
+// --faults runs a declarative fault plan (src/faults) against the
+// experiment: "@5 down 0-1; @10 up 0-1; @20 actuator-fail 0.3 30".
+// --validate-only parses --faults/--hostile/--policy and exits 0 (all
+// valid) or 1, printing the offending token and byte offset — a spec
+// linter for campaign tooling.
+//
+// --chaos N runs the chaos-search campaign (src/chaos): N generated
+// specs over fault plans x hostile scenarios x the policy zoo, each
+// checked against the invariant oracles; violations are delta-debugged
+// to minimal repro spec files under --chaos-out (default "."). The
+// campaign is a pure function of --chaos-seed. --repro FILE replays one
+// spec file and reports its violations (exit 1 when any fire).
 //
 // --shards N runs the sharded (PDES) engine: the topology's PoPs become
 // cells synchronized by conservative time windows, mapped onto N worker
@@ -49,6 +65,9 @@
 #include "cdn/experiment.h"
 #include "cdn/hostile.h"
 #include "cdn/pops.h"
+#include "chaos/engine.h"
+#include "faults/fault_plan.h"
+#include "faults/harness.h"
 #include "policy/policy.h"
 #include "runner/parallel_runner.h"
 #include "runner/sweep.h"
@@ -68,6 +87,12 @@ struct Options {
   std::size_t shards = 0;  // 0 = monolithic engine
   std::string policy;
   std::string hostile;
+  std::string faults;
+  bool validate_only = false;
+  std::size_t chaos = 0;  // 0 = no campaign
+  std::uint64_t chaos_seed = 1;
+  std::string chaos_out = ".";
+  std::string repro;
   std::vector<std::uint64_t> sweep_seeds;
   cdn::ExperimentConfig config;
 };
@@ -82,7 +107,9 @@ struct Options {
                "  [--threads N] [--sweep-seeds A,B,C]\n"
                "  [--trace PATH.jsonl] [--trace-ring N]\n"
                "  [--shards N] [--flow-traffic FLOWS_PER_SEC]\n"
-               "  [--policy NAME] [--hostile SPEC]\n"
+               "  [--policy NAME] [--hostile SPEC] [--faults SPEC]\n"
+               "  [--validate-only] [--chaos N] [--chaos-seed S]\n"
+               "  [--chaos-out DIR] [--repro FILE]\n"
                "\n"
                "  --policy NAME     initcwnd policy: default | static-iwN[@L]\n"
                "                    | adaptive[-governed][@L] | oracle[@L]\n"
@@ -92,6 +119,17 @@ struct Options {
                "                    incast | flash-crowd | combined, with\n"
                "                    optional :key=val,... tuning (see\n"
                "                    src/cdn/hostile.h)\n"
+               "  --faults SPEC     declarative fault plan (src/faults), e.g.\n"
+               "                    \"@5 down 0-1; @10 up 0-1\"\n"
+               "  --validate-only   parse --faults/--hostile/--policy, report\n"
+               "                    offending token + byte offset, exit 0/1\n"
+               "                    without running anything\n"
+               "  --chaos N         run an N-spec chaos-search campaign with\n"
+               "                    invariant oracles; minimized repro specs\n"
+               "                    land in --chaos-out (default \".\"); the\n"
+               "                    campaign is deterministic in --chaos-seed\n"
+               "  --repro FILE      replay one chaos spec file and report its\n"
+               "                    oracle violations (exit 1 when any fire)\n"
                "  --shards N        run the sharded (PDES) engine on N worker\n"
                "                    threads; one cell per PoP, so N must not\n"
                "                    exceed the PoP/host count. Metrics are\n"
@@ -181,6 +219,20 @@ Options parse(int argc, char** argv) {
       opt.policy = need_value(i);
     } else if (arg == "--hostile") {
       opt.hostile = need_value(i);
+    } else if (arg == "--faults") {
+      opt.faults = need_value(i);
+    } else if (arg == "--validate-only") {
+      opt.validate_only = true;
+    } else if (arg == "--chaos") {
+      const int n = std::atoi(need_value(i));
+      if (n <= 0) usage(argv[0]);
+      opt.chaos = static_cast<std::size_t>(n);
+    } else if (arg == "--chaos-seed") {
+      opt.chaos_seed = static_cast<std::uint64_t>(std::atoll(need_value(i)));
+    } else if (arg == "--chaos-out") {
+      opt.chaos_out = need_value(i);
+    } else if (arg == "--repro") {
+      opt.repro = need_value(i);
     } else if (arg == "--sweep-seeds") {
       const char* p = need_value(i);
       while (*p != '\0') {
@@ -198,10 +250,122 @@ Options parse(int argc, char** argv) {
 
 void print_summary(const cdn::Experiment& exp);
 
+// --validate-only: parse every scenario spec the invocation carries and
+// report each failure with its offending token and byte offset. Exit 0
+// iff all given specs parse.
+int validate_specs(const Options& opt) {
+  int failures = 0;
+  const auto check = [&](const char* flag, const std::string& text,
+                         void (*parse_one)(const std::string&)) {
+    if (text.empty()) return;
+    try {
+      parse_one(text);
+      std::printf("%s: OK\n", flag);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "%s: %s\n", flag, err.what());
+      ++failures;
+    }
+  };
+  check("--faults", opt.faults,
+        [](const std::string& s) { (void)faults::FaultPlan::parse(s); });
+  check("--hostile", opt.hostile,
+        [](const std::string& s) { (void)cdn::parse_hostile_spec(s); });
+  check("--policy", opt.policy,
+        [](const std::string& s) { (void)policy::parse_policy(s); });
+  return failures == 0 ? 0 : 1;
+}
+
+// --repro FILE: replay one chaos spec and report its violations.
+int run_repro(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "--repro: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  chaos::ChaosSpec spec;
+  try {
+    spec = chaos::ChaosSpec::parse(text);
+  } catch (const std::invalid_argument& err) {
+    std::fprintf(stderr, "--repro: %s: %s\n", path.c_str(), err.what());
+    return 2;
+  }
+  const chaos::RunResult result = chaos::run_chaos_spec(spec);
+  std::printf("repro %s: fingerprint 0x%08X, %zu violation(s)\n",
+              path.c_str(), result.fingerprint, result.violations.size());
+  for (const auto& v : result.violations) {
+    std::printf("  violation: %s — %s\n", v.oracle.c_str(),
+                v.detail.c_str());
+  }
+  return result.violations.empty() ? 0 : 1;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+// --chaos N: the randomized campaign. Prints one line per finding as it
+// lands and writes the failing + minimized specs under --chaos-out.
+int run_chaos_campaign(const Options& opt) {
+  chaos::CampaignConfig config;
+  config.seed = opt.chaos_seed;
+  config.runs = opt.chaos;
+  std::printf("chaos: campaign seed %llu, %zu runs -> %s\n",
+              static_cast<unsigned long long>(config.seed), config.runs,
+              opt.chaos_out.c_str());
+  config.on_run = [](std::size_t index, const chaos::ChaosSpec& spec,
+                     const chaos::RunResult& result) {
+    if (result.violations.empty()) return;
+    std::printf("run %zu VIOLATED %s (%zu violation(s), policy %s)\n", index,
+                result.violations.front().oracle.c_str(),
+                result.violations.size(),
+                policy::to_string(spec.policy).c_str());
+  };
+  const chaos::CampaignResult result = chaos::run_campaign(config);
+
+  for (const auto& finding : result.findings) {
+    const std::string stem = opt.chaos_out + "/chaos-" +
+                             std::to_string(opt.chaos_seed) + "-" +
+                             std::to_string(finding.index);
+    if (!write_file(stem + ".spec", finding.spec.to_string()) ||
+        !write_file(stem + ".min.spec", finding.minimized.to_string())) {
+      std::fprintf(stderr, "chaos: cannot write repro specs at %s\n",
+                   stem.c_str());
+      return 2;
+    }
+    std::printf("finding @%zu: %s\n", finding.index,
+                finding.violations.front().oracle.c_str());
+    for (const auto& v : finding.minimized_violations) {
+      std::printf("  minimized violation: %s — %s\n", v.oracle.c_str(),
+                  v.detail.c_str());
+    }
+    std::printf("  repro: %s.min.spec (%zu shrink runs)\n", stem.c_str(),
+                finding.shrink_runs);
+  }
+  std::printf("chaos: %zu runs (%zu golden), %zu shrink runs, "
+              "%zu finding(s)\n",
+              result.runs, result.golden_runs, result.shrink_runs,
+              result.findings.size());
+  return result.findings.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt = parse(argc, argv);
+
+  if (opt.validate_only) return validate_specs(opt);
+  if (!opt.repro.empty()) return run_repro(opt.repro);
+  if (opt.chaos > 0) return run_chaos_campaign(opt);
 
   const auto& all_specs = cdn::default_pop_specs();
   if (opt.pops < 2 || opt.pops > all_specs.size()) {
@@ -242,6 +406,21 @@ int main(int argc, char** argv) {
       opt.config.topology.wan_queue_packets =
           opt.config.hostile.queue_packets;
     }
+  }
+
+  if (!opt.faults.empty()) {
+    faults::FaultPlan plan;
+    try {
+      plan = faults::FaultPlan::parse(opt.faults);
+    } catch (const std::invalid_argument& err) {
+      std::fprintf(stderr, "--faults: %s\n", err.what());
+      return 2;
+    }
+    if (opt.shards > 0) {
+      std::fprintf(stderr, "--faults does not compose with --shards\n");
+      return 2;
+    }
+    faults::FaultHarness::install(opt.config, std::move(plan));
   }
 
   if (!opt.policy.empty()) {
