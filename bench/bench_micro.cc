@@ -5,8 +5,9 @@
 //
 // `bench_micro --queue-json` skips google-benchmark and instead runs the
 // event-queue throughput driver (schedule/fire, schedule/cancel,
-// RTO-rearm) and prints one machine-readable JSON line, so successive PRs
-// can track the event-loop trajectory. See queue_throughput.h.
+// RTO-rearm, multi-timer rearm churn, far-future overflow) and prints one
+// machine-readable JSON row per workload, so successive PRs can track the
+// event-loop trajectory. See queue_throughput.h.
 
 #include <benchmark/benchmark.h>
 
@@ -64,8 +65,9 @@ void BM_SimulatorScheduleCancel(benchmark::State& state) {
 BENCHMARK(BM_SimulatorScheduleCancel)->Arg(1000)->Arg(100000);
 
 // The RTO pattern: one timer rearmed per ACK while live short-delay events
-// keep the queue head busy; cancelled entries pile up deep in the queue
-// until compaction reclaims them.
+// keep the queue head busy. Under the timer wheel each rearm is an O(1)
+// unlink + O(1) re-insert; the old heap let the cancelled entries pile up
+// deep in the queue until compaction reclaimed them.
 void BM_SimulatorRtoRearm(benchmark::State& state) {
   const int acks = static_cast<int>(state.range(0));
   for (auto _ : state) {

@@ -1,9 +1,10 @@
 #pragma once
 
 // Event-queue throughput driver behind bench_micro's --queue-json mode.
-// Exercises the three simulator hot patterns the experiment workload is
-// made of and reports ops/sec for each as one machine-readable JSON line,
-// so successive PRs can track the event-loop trajectory:
+// Exercises the simulator hot patterns the experiment workload is made of
+// and reports one machine-readable JSON row per workload (JSONL), so
+// successive PRs can track the event-loop trajectory and
+// tools/bench_diff.py can diff two captures workload by workload:
 //
 //   schedule_fire   - one-shot events scheduled and drained in batches
 //                     (the probe/packet delivery path)
@@ -12,25 +13,28 @@
 //   rto_rearm       - a retransmission timer cancelled and rearmed on
 //                     every simulated ACK (the lazy-cancellation pattern
 //                     that used to bloat the heap)
+//   rearm_churn     - a fleet of concurrent RTO timers, each ACK
+//                     cancelling and re-arming one of them: the
+//                     schedule/cancel/reschedule churn a busy host's
+//                     connection table generates
+//   far_future      - events scheduled past the wheel horizon, half
+//                     cancelled, the rest drained: exercises the overflow
+//                     tier and its promotion path end to end
 //
-// Only the public Simulator API is used, so the same driver links against
-// any simulator implementation — numbers are apples-to-apples across PRs.
+// Only the public Simulator API is used (plus duck-typed probes for the
+// timer-wheel extras below), so the same driver links against any
+// simulator implementation — numbers are apples-to-apples across PRs.
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <vector>
 
 #include "sim/simulator.h"
+#include "stats/perf.h"
 
 namespace riptide::bench {
-
-struct QueueThroughput {
-  double schedule_fire_ops = 0.0;    // ops/sec
-  double schedule_cancel_ops = 0.0;  // ops/sec
-  double rto_rearm_ops = 0.0;        // ops/sec
-  std::size_t rto_peak_pending = 0;  // max queue size during rto_rearm
-};
 
 namespace detail {
 inline double now_seconds() {
@@ -38,7 +42,42 @@ inline double now_seconds() {
   return std::chrono::duration<double>(clock::now().time_since_epoch())
       .count();
 }
+
+// Duck-typed probes so this driver also compiles against the pre-wheel
+// binary-heap simulator when capturing baseline numbers: scheduler_name()
+// and overflow_events() only exist on the two-tier scheduler.
+template <typename S>
+constexpr auto scheduler_label(int) -> decltype(S::scheduler_name()) {
+  return S::scheduler_name();
+}
+template <typename S>
+constexpr const char* scheduler_label(...) {
+  return "binary-heap";
+}
+
+template <typename S>
+auto overflow_events(const S& s, int) -> decltype(s.overflow_events()) {
+  return s.overflow_events();
+}
+template <typename S>
+std::size_t overflow_events(const S&, ...) {
+  return 0;
+}
 }  // namespace detail
+
+// One bench workload's measurement: rate, peak queue footprint, and the
+// perf-counter delta accumulated while it ran (events_cascaded /
+// overflow_promotions prove which scheduler tier did the work).
+struct QueueWorkloadResult {
+  const char* workload = "";
+  double ops_per_sec = 0.0;
+  std::size_t peak_pending = 0;
+  perf::Counters counters;
+};
+
+struct QueueThroughput {
+  std::vector<QueueWorkloadResult> workloads;
+};
 
 inline QueueThroughput measure_queue_throughput(std::size_t total_ops =
                                                     2'000'000) {
@@ -49,6 +88,7 @@ inline QueueThroughput measure_queue_throughput(std::size_t total_ops =
     // schedule_fire: realistic queue depth of `batch`, fully drained.
     sim::Simulator sim;
     std::uint64_t sink = 0;
+    const perf::Counters before = perf::local();
     const double start = detail::now_seconds();
     for (std::size_t done = 0; done < total_ops; done += batch) {
       for (std::size_t i = 0; i < batch; ++i) {
@@ -57,15 +97,18 @@ inline QueueThroughput measure_queue_throughput(std::size_t total_ops =
       }
       sim.run();
     }
-    out.schedule_fire_ops =
-        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+    const double elapsed = detail::now_seconds() - start;
     if (sink != total_ops) std::fprintf(stderr, "queue bench: bad sink\n");
+    out.workloads.push_back(
+        {"schedule_fire", static_cast<double>(total_ops) / elapsed, batch,
+         perf::local().delta_since(before)});
   }
 
   {
     // schedule_cancel: every event cancelled before it can fire.
     sim::Simulator sim;
     std::vector<sim::EventHandle> handles(batch);
+    const perf::Counters before = perf::local();
     const double start = detail::now_seconds();
     for (std::size_t done = 0; done < total_ops; done += batch) {
       for (std::size_t i = 0; i < batch; ++i) {
@@ -75,53 +118,121 @@ inline QueueThroughput measure_queue_throughput(std::size_t total_ops =
       for (auto& h : handles) h.cancel();
       sim.run();
     }
-    out.schedule_cancel_ops =
-        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+    const double elapsed = detail::now_seconds() - start;
+    out.workloads.push_back(
+        {"schedule_cancel", static_cast<double>(total_ops) / elapsed, batch,
+         perf::local().delta_since(before)});
   }
 
   {
     // rto_rearm: one long-lived timer rearmed per simulated ACK, clock
     // creeping forward, with a stream of live short-delay events (the ACKs
-    // themselves) keeping the queue head live — TCP's RTO pattern. The
-    // cancelled timers sit deep in the queue where head-purging cannot
-    // reach them, so unbounded lazy-cancellation growth is visible in
-    // rto_peak_pending.
+    // themselves) keeping the queue head live — TCP's RTO pattern. A
+    // scheduler with lazy cancellation accumulates the dead timers deep in
+    // the queue where head-purging cannot reach them; eager unlink keeps
+    // peak_pending at the live population.
     sim::Simulator sim;
     sim::EventHandle rto;
     std::uint64_t fired = 0;
+    std::size_t peak = 0;
+    const perf::Counters before = perf::local();
     const double start = detail::now_seconds();
     for (std::size_t i = 0; i < total_ops; ++i) {
       rto.cancel();
       rto = sim.schedule(sim::Time::milliseconds(200), [&fired] { ++fired; });
       sim.schedule(sim::Time::microseconds(100), [&fired] { ++fired; });
       if (i % 64 == 0) {
-        if (sim.pending_events() > out.rto_peak_pending) {
-          out.rto_peak_pending = sim.pending_events();
-        }
+        if (sim.pending_events() > peak) peak = sim.pending_events();
         sim.run_until(sim.now() + sim::Time::microseconds(10));
       }
     }
-    if (sim.pending_events() > out.rto_peak_pending) {
-      out.rto_peak_pending = sim.pending_events();
-    }
+    if (sim.pending_events() > peak) peak = sim.pending_events();
     sim.run();
-    out.rto_rearm_ops =
-        static_cast<double>(total_ops) / (detail::now_seconds() - start);
+    const double elapsed = detail::now_seconds() - start;
+    out.workloads.push_back({"rto_rearm",
+                             static_cast<double>(total_ops) / elapsed, peak,
+                             perf::local().delta_since(before)});
+  }
+
+  {
+    // rearm_churn: kTimers concurrent RTO timers (one per connection on a
+    // busy host), every simulated ACK cancelling and re-arming one of them
+    // round-robin while the clock creeps. Unlike rto_rearm's single hot
+    // timer, the dead entries here are spread across the whole 200 ms
+    // lookahead — the worst case for lazy cancellation, the best case for
+    // O(1) intrusive unlink.
+    constexpr std::size_t kTimers = 1024;
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> timers(kTimers);
+    std::uint64_t fired = 0;
+    std::size_t peak = 0;
+    const perf::Counters before = perf::local();
+    const double start = detail::now_seconds();
+    for (std::size_t i = 0; i < total_ops; ++i) {
+      sim::EventHandle& t = timers[i % kTimers];
+      t.cancel();
+      t = sim.schedule(sim::Time::milliseconds(200), [&fired] { ++fired; });
+      if (i % 256 == 0) {
+        if (sim.pending_events() > peak) peak = sim.pending_events();
+        sim.run_until(sim.now() + sim::Time::microseconds(50));
+      }
+    }
+    if (sim.pending_events() > peak) peak = sim.pending_events();
+    sim.run();
+    const double elapsed = detail::now_seconds() - start;
+    out.workloads.push_back({"rearm_churn",
+                             static_cast<double>(total_ops) / elapsed, peak,
+                             perf::local().delta_since(before)});
+  }
+
+  {
+    // far_future: events scheduled ~a year out — past the ~208-day wheel
+    // horizon, so they land in the overflow tier — then half cancelled
+    // (lazy reclamation there) and the rest drained through promotion back
+    // into the wheel. One "op" is one schedule, one cancel, or one fire.
+    const std::size_t n = total_ops / 2;
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles(n);
+    std::uint64_t fired = 0;
+    std::size_t peak_overflow = 0;
+    const perf::Counters before = perf::local();
+    const double start = detail::now_seconds();
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] = sim.schedule(
+          sim::Time::seconds(30'000'000) +
+              sim::Time::microseconds(static_cast<std::int64_t>(i)),
+          [&fired] { ++fired; });
+    }
+    peak_overflow = detail::overflow_events(sim, 0);
+    for (std::size_t i = 0; i < n; i += 2) handles[i].cancel();
+    sim.run();
+    const double elapsed = detail::now_seconds() - start;
+    if (fired != n - (n + 1) / 2) {
+      std::fprintf(stderr, "queue bench: bad far_future fire count\n");
+    }
+    out.workloads.push_back({"far_future",
+                             static_cast<double>(2 * n) / elapsed,
+                             peak_overflow,
+                             perf::local().delta_since(before)});
   }
 
   return out;
 }
 
+// One JSON object per workload, newline-separated (JSONL).
+// tools/bench_diff.py understands this shape and keys metrics by workload
+// name; peak_pending reports the overflow-tier population for far_future.
 inline void print_queue_throughput_json(const QueueThroughput& t,
                                         const char* build_label) {
-  std::printf(
-      "{\"bench\":\"event_queue\",\"build\":\"%s\","
-      "\"schedule_fire_ops_per_sec\":%.0f,"
-      "\"schedule_cancel_ops_per_sec\":%.0f,"
-      "\"rto_rearm_ops_per_sec\":%.0f,"
-      "\"rto_peak_pending\":%zu}\n",
-      build_label, t.schedule_fire_ops, t.schedule_cancel_ops,
-      t.rto_rearm_ops, t.rto_peak_pending);
+  const char* scheduler = detail::scheduler_label<sim::Simulator>(0);
+  for (const QueueWorkloadResult& w : t.workloads) {
+    std::printf(
+        "{\"bench\":\"event_queue\",\"workload\":\"%s\",\"build\":\"%s\","
+        "\"scheduler\":\"%s\",\"ops_per_sec\":%.0f,\"peak_pending\":%zu,"
+        "\"counters\":%s}\n",
+        w.workload, build_label, scheduler, w.ops_per_sec, w.peak_pending,
+        perf::to_json(w.counters).c_str());
+  }
 }
 
 }  // namespace riptide::bench

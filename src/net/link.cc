@@ -147,6 +147,11 @@ void Link::receive(const Packet& packet) {
     return;
   }
 
+  // Delivery events are the bulk of a packet-level run's event
+  // population, and `done + propagation_delay` is at most milliseconds
+  // ahead — inside the scheduler's wide low levels, so these inserts
+  // land at their final wheel position (at most one cascade; see the
+  // level sizing rationale in sim/simulator.h).
   sim_.schedule_at(done + config_.propagation_delay, [this, packet] {
     ++stats_.packets_delivered;
     stats_.bytes_delivered += packet.size_bytes;

@@ -141,7 +141,10 @@ void ShardSet::worker_loop(std::size_t worker, Time deadline,
     // Phase B: advance each owned cell to the end of the window. Cells on
     // one worker are independent (they interact only via mailboxes), so
     // their relative execution order is irrelevant; ascending order keeps
-    // it tidy.
+    // it tidy. run_until parks each cell's scheduler exactly at the
+    // window edge even when idle, so next window's mailbox injections
+    // insert relative to the same cursor on every shard layout — part of
+    // the bit-identical-across-shard-counts guarantee.
     try {
       for (std::size_t c = worker; c < cells_.size(); c += workers_) {
         in_scope(c, [&] { ran += cells_[c]->run_until(window_end); });

@@ -20,6 +20,10 @@ Counters Counters::delta_since(const Counters& before) const {
   d.segment_pool_high_water = segment_pool_high_water;
   d.segment_pool_free = segment_pool_free;
   d.events_dispatched = events_dispatched - before.events_dispatched;
+  d.events_cascaded = events_cascaded - before.events_cascaded;
+  d.overflow_promotions = overflow_promotions - before.overflow_promotions;
+  d.timer_buckets_dispatched =
+      timer_buckets_dispatched - before.timer_buckets_dispatched;
   d.packets_queued = packets_queued - before.packets_queued;
   d.bytes_queued = bytes_queued - before.bytes_queued;
   d.shard_windows = shard_windows - before.shard_windows;
@@ -38,6 +42,9 @@ void Counters::accumulate(const Counters& other) {
       std::max(segment_pool_high_water, other.segment_pool_high_water);
   segment_pool_free = std::max(segment_pool_free, other.segment_pool_free);
   events_dispatched += other.events_dispatched;
+  events_cascaded += other.events_cascaded;
+  overflow_promotions += other.overflow_promotions;
+  timer_buckets_dispatched += other.timer_buckets_dispatched;
   packets_queued += other.packets_queued;
   bytes_queued += other.bytes_queued;
   shard_windows += other.shard_windows;
@@ -46,13 +53,15 @@ void Counters::accumulate(const Counters& other) {
 }
 
 std::string to_json(const Counters& c) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\"segments_allocated\":%llu,\"segments_recycled\":%llu,"
       "\"segment_heap_allocs\":%llu,\"sack_heap_spills\":%llu,"
       "\"segment_pool_live\":%llu,\"segment_pool_high_water\":%llu,"
       "\"segment_pool_free\":%llu,\"events_dispatched\":%llu,"
+      "\"events_cascaded\":%llu,\"overflow_promotions\":%llu,"
+      "\"timer_buckets_dispatched\":%llu,"
       "\"packets_queued\":%llu,\"bytes_queued\":%llu,"
       "\"shard_windows\":%llu,\"shard_wire_packets\":%llu,"
       "\"flow_level_flows\":%llu}",
@@ -64,6 +73,9 @@ std::string to_json(const Counters& c) {
       static_cast<unsigned long long>(c.segment_pool_high_water),
       static_cast<unsigned long long>(c.segment_pool_free),
       static_cast<unsigned long long>(c.events_dispatched),
+      static_cast<unsigned long long>(c.events_cascaded),
+      static_cast<unsigned long long>(c.overflow_promotions),
+      static_cast<unsigned long long>(c.timer_buckets_dispatched),
       static_cast<unsigned long long>(c.packets_queued),
       static_cast<unsigned long long>(c.bytes_queued),
       static_cast<unsigned long long>(c.shard_windows),
@@ -73,11 +85,13 @@ std::string to_json(const Counters& c) {
 }
 
 std::string to_run_json(const Counters& c) {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof buf,
       "{\"segments_allocated\":%llu,\"segments_recycled\":%llu,"
       "\"sack_heap_spills\":%llu,\"events_dispatched\":%llu,"
+      "\"events_cascaded\":%llu,\"overflow_promotions\":%llu,"
+      "\"timer_buckets_dispatched\":%llu,"
       "\"packets_queued\":%llu,\"bytes_queued\":%llu,"
       "\"shard_windows\":%llu,\"shard_wire_packets\":%llu,"
       "\"flow_level_flows\":%llu}",
@@ -85,6 +99,9 @@ std::string to_run_json(const Counters& c) {
       static_cast<unsigned long long>(c.segments_recycled),
       static_cast<unsigned long long>(c.sack_heap_spills),
       static_cast<unsigned long long>(c.events_dispatched),
+      static_cast<unsigned long long>(c.events_cascaded),
+      static_cast<unsigned long long>(c.overflow_promotions),
+      static_cast<unsigned long long>(c.timer_buckets_dispatched),
       static_cast<unsigned long long>(c.packets_queued),
       static_cast<unsigned long long>(c.bytes_queued),
       static_cast<unsigned long long>(c.shard_windows),

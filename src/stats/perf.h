@@ -36,6 +36,18 @@ struct Counters {
   std::uint64_t packets_queued = 0;     // packets admitted to link queues
   std::uint64_t bytes_queued = 0;       // bytes admitted to link queues
 
+  // -- timer-wheel scheduler (sim/simulator.h) --
+  // These replace the retired compaction gauge: wheel cancellation unlinks
+  // eagerly, so there is nothing left to compact. All three are functions
+  // of the event schedule alone (never of wall time or thread count), so
+  // they are safe to include in byte-identical multi-thread bench output.
+  std::uint64_t events_cascaded = 0;        // events redistributed to a lower
+                                            // wheel level as the cursor turned
+  std::uint64_t overflow_promotions = 0;    // far-future events pulled from
+                                            // the overflow heap into the wheel
+  std::uint64_t timer_buckets_dispatched = 0;  // level-0 buckets detached and
+                                               // run as batched run-lists
+
   // -- sharded execution (sim/shard.h, net/wire.h) --
   std::uint64_t shard_windows = 0;       // conservative windows executed
   std::uint64_t shard_wire_packets = 0;  // packets cloned across a shard

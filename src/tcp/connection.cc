@@ -286,6 +286,9 @@ std::uint64_t TcpConnection::advertised_window() const {
 // the packet-arrival grid — so delack-vs-arrival timestamp ties are
 // common, and flipping their dispatch order changes which cumulative ACK
 // goes out (caught by the golden-determinism suite and a stress seed).
+// The constraint is scheduler-independent: the timer wheel, like the old
+// heap, assigns the FIFO tie-break sequence at schedule time, so the
+// same re-sleep scheme would reorder the same ties.
 // The RTO timer below CAN be lazy because its deadline derives from
 // measured RTT sums that don't re-align with the arrival grid.
 void TcpConnection::schedule_delayed_ack() {
@@ -452,7 +455,10 @@ void TcpConnection::arm_rto() {
   // Lazy rearm: per-ACK this is two field writes. The pending event only
   // needs replacing when it would fire *after* the new deadline (the RTO
   // estimate shrank), which is rare; an early-firing event re-sleeps
-  // itself in on_rto_timer.
+  // itself in on_rto_timer. The scheme predates the O(1)-cancel timer
+  // wheel (under the old heap it also kept dead entries out of the
+  // queue); it stays because two stores still beat even a cheap
+  // cancel + reschedule round-trip on the per-ACK path.
   rto_armed_ = true;
   rto_deadline_ = sim_.now() + rtt_.rto();
   if (!rto_timer_.valid() || rto_scheduled_for_ > rto_deadline_) {

@@ -11,6 +11,11 @@ in only one file are listed separately. Exit code is always 0 — this is a
 reporting tool, not a gate; CI uploads the table as an artifact and humans
 judge the deltas.
 
+Inputs may be a single JSON document or JSONL (one object per line, the
+shape `bench_micro --queue-json` emits). JSONL rows are keyed by their
+"workload" field (falling back to "bench"/line number) so the same workload
+diffs against itself across captures.
+
 Usage:
     tools/bench_diff.py before.json after.json [--only PREFIX]
 """
@@ -59,6 +64,27 @@ def fmt(x: float) -> str:
     return f"{x:.4g}"
 
 
+def load(path: str) -> Dict[str, float]:
+    """Flatten one capture: a JSON document, or JSONL keyed by workload."""
+    with open(path) as f:
+        text = f.read()
+    try:
+        return flatten(json.loads(text))
+    except json.JSONDecodeError:
+        pass
+    out: Dict[str, float] = {}
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        key = f"line{i}"
+        if isinstance(row, dict):
+            key = str(row.get("workload") or row.get("bench") or key)
+        out.update(flatten(row, key))
+    return out
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", help="baseline JSON file")
@@ -67,10 +93,8 @@ def main() -> int:
                         help="restrict to metrics whose path starts with this")
     args = parser.parse_args()
 
-    with open(args.before) as f:
-        a = flatten(json.load(f))
-    with open(args.after) as f:
-        b = flatten(json.load(f))
+    a = load(args.before)
+    b = load(args.after)
     if args.only:
         a = {k: v for k, v in a.items() if k.startswith(args.only)}
         b = {k: v for k, v in b.items() if k.startswith(args.only)}

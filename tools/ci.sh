@@ -52,6 +52,15 @@ echo "==== shard suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L shard --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The sched label (timer-wheel differential/property suites, the core
+# simulator tests, and the sharded-determinism pins) re-runs under the
+# sanitizers: the scheduler is an intrusive slab of raw indices where an
+# off-by-one cascade or a stale unlink corrupts silently — exactly what
+# ASan/UBSan turn into a loud failure.
+echo "==== sched suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L sched --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 # The hostile label (incast/flash-crowd wave generators, the governed
 # policy end-to-end ordering, the governed CLI path) re-runs under the
 # sanitizers: waves of short-lived connections churn through socket
@@ -76,8 +85,13 @@ echo "==== chaos campaign smoke (Release) ===="
 ./build-ci-release/tools/riptide_sim --chaos 48 --chaos-seed 1 \
   --chaos-out build-ci-release
 
+# Event-queue bench diff (informational, never a gate): one JSONL row per
+# workload, diffed against the checked-in wheel-vs-heap baseline.
 echo "==== event-queue throughput (Release) ===="
-./build-ci-release/bench/bench_micro --queue-json
+./build-ci-release/bench/bench_micro --queue-json \
+  | tee build-ci-release/BENCH_eventwheel.ci.json
+python3 tools/bench_diff.py BENCH_eventwheel.json \
+  build-ci-release/BENCH_eventwheel.ci.json || true
 
 # Hotpath bench diff (informational, never a gate): zero baselines render
 # as "n/a" rows, and bench_diff.py always exits 0 — `|| true` guards only
