@@ -259,14 +259,17 @@ void RiptideAgent::program_route(const net::Prefix& dst,
                                  std::uint32_t initcwnd,
                                  std::uint32_t initrwnd) {
   try {
-    programmer_->set_initial_windows(dst, initcwnd, initrwnd);
+    programmer_->set_initial_windows(dst, initcwnd, initrwnd,
+                                     config_.route_cc);
   } catch (const std::exception&) {
     ++stats_.actuator_failures;
     handle_actuator_failure(dst, initcwnd, initrwnd, /*clear=*/false);
     return;
   }
   ++stats_.routes_set;
-  installed_[dst] = host::RouteMetrics{initcwnd, initrwnd};
+  // Record the cc too: the reconciler compares installed_ against the live
+  // table with operator==, so omitting it would read as a per-poll conflict.
+  installed_[dst] = host::RouteMetrics{initcwnd, initrwnd, config_.route_cc};
   if (const auto it = pending_ops_.find(dst); it != pending_ops_.end()) {
     it->second.timer.cancel();
     pending_ops_.erase(it);
@@ -322,7 +325,8 @@ void RiptideAgent::retry_pending(const net::Prefix& dst) {
     if (op.clear) {
       programmer_->clear(dst);
     } else {
-      programmer_->set_initial_windows(dst, op.initcwnd, op.initrwnd);
+      programmer_->set_initial_windows(dst, op.initcwnd, op.initrwnd,
+                                       config_.route_cc);
     }
   } catch (const std::exception&) {
     ++stats_.actuator_failures;
@@ -333,7 +337,8 @@ void RiptideAgent::retry_pending(const net::Prefix& dst) {
     installed_.erase(dst);
   } else {
     ++stats_.routes_set;
-    installed_[dst] = host::RouteMetrics{op.initcwnd, op.initrwnd};
+    installed_[dst] =
+        host::RouteMetrics{op.initcwnd, op.initrwnd, config_.route_cc};
   }
   pending_ops_.erase(dst);
 }

@@ -4,6 +4,7 @@
 
 #include "core/governor.h"
 #include "sim/time.h"
+#include "tcp/config.h"
 
 namespace riptide::core {
 
@@ -54,6 +55,12 @@ struct RiptideConfig {
   // bursts fit in our advertised window (§III-C). The value installed is
   // max(c_max, programmed initcwnd).
   bool set_initrwnd = true;
+
+  // Congestion-control regime stamped onto every route the agent programs
+  // (consumed by connections at connect time, exactly like the windows).
+  // kUnset — the default — leaves the host-wide TcpConfig in force, so the
+  // agent's routes carry no CC opinion unless a policy asks for one.
+  tcp::RouteCc route_cc = tcp::RouteCc::kUnset;
 
   // Minimum connections observed toward a destination before programming a
   // route for it.

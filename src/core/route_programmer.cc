@@ -6,7 +6,8 @@ namespace riptide::core {
 
 void HostRouteProgrammer::set_initial_windows(const net::Prefix& dst,
                                               std::uint32_t initcwnd_segments,
-                                              std::uint32_t initrwnd_segments) {
+                                              std::uint32_t initrwnd_segments,
+                                              tcp::RouteCc cc) {
   if (dst.length() == 0) {
     // Refuse to rewrite the default route: the misconfiguration §III-C
     // warns about (machines becoming unreachable).
@@ -24,7 +25,7 @@ void HostRouteProgrammer::set_initial_windows(const net::Prefix& dst,
   }
   host_.routing_table().add_or_replace(
       dst, *covering->device,
-      host::RouteMetrics{initcwnd_segments, initrwnd_segments});
+      host::RouteMetrics{initcwnd_segments, initrwnd_segments, cc});
   ++routes_programmed_;
 }
 

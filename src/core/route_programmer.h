@@ -17,9 +17,13 @@ class RouteProgrammer {
   virtual ~RouteProgrammer() = default;
 
   // Installs `initcwnd` (and, when nonzero, `initrwnd`) toward `dst`.
-  virtual void set_initial_windows(const net::Prefix& dst,
-                                   std::uint32_t initcwnd_segments,
-                                   std::uint32_t initrwnd_segments) = 0;
+  // `cc` optionally pins a congestion-control regime on the same route
+  // (kUnset leaves the host default in force), mirroring
+  // `ip route ... congctl <name>`.
+  virtual void set_initial_windows(
+      const net::Prefix& dst, std::uint32_t initcwnd_segments,
+      std::uint32_t initrwnd_segments,
+      tcp::RouteCc cc = tcp::RouteCc::kUnset) = 0;
 
   // Withdraws the route, restoring default windows (TTL expiry path).
   virtual void clear(const net::Prefix& dst) = 0;
@@ -35,7 +39,8 @@ class HostRouteProgrammer : public RouteProgrammer {
 
   void set_initial_windows(const net::Prefix& dst,
                            std::uint32_t initcwnd_segments,
-                           std::uint32_t initrwnd_segments) override;
+                           std::uint32_t initrwnd_segments,
+                           tcp::RouteCc cc = tcp::RouteCc::kUnset) override;
   void clear(const net::Prefix& dst) override;
 
   std::uint64_t routes_programmed() const { return routes_programmed_; }

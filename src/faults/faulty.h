@@ -51,7 +51,8 @@ class FaultyRouteProgrammer : public core::RouteProgrammer {
 
   void set_initial_windows(const net::Prefix& dst,
                            std::uint32_t initcwnd_segments,
-                           std::uint32_t initrwnd_segments) override;
+                           std::uint32_t initrwnd_segments,
+                           tcp::RouteCc cc = tcp::RouteCc::kUnset) override;
   void clear(const net::Prefix& dst) override;
 
   core::RouteProgrammer& inner() { return *inner_; }

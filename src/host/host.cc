@@ -26,6 +26,9 @@ tcp::TcpConfig Host::effective_config(net::Ipv4Address peer,
       routes_.effective_initcwnd(peer, base.initial_cwnd_segments);
   config.initial_rwnd_segments =
       routes_.effective_initrwnd(peer, base.initial_rwnd_segments);
+  // Route-programmed congestion control, consumed once at connect/accept
+  // like the windows above (Linux reads the route's congctl the same way).
+  tcp::apply_route_cc(routes_.effective_cc(peer), config);
   return config;
 }
 

@@ -91,4 +91,10 @@ std::uint32_t RoutingTable::effective_initrwnd(net::Ipv4Address dst,
   return entry->metrics.initrwnd_segments;
 }
 
+tcp::RouteCc RoutingTable::effective_cc(net::Ipv4Address dst) const {
+  const RouteEntry* entry = lookup(dst);
+  if (entry == nullptr) return tcp::RouteCc::kUnset;
+  return entry->metrics.cc;
+}
+
 }  // namespace riptide::host

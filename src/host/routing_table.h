@@ -6,16 +6,20 @@
 
 #include "net/ipv4.h"
 #include "net/packet.h"
+#include "tcp/config.h"
 
 namespace riptide::host {
 
 // Per-route TCP metrics, mirroring the `initcwnd` / `initrwnd` attributes of
 // `ip route`. Zero means "unset — use the system default". This is the
 // entire kernel surface Riptide drives (paper §III-C: the initial window
-// cannot be set per-socket, only per-route).
+// cannot be set per-socket, only per-route). `cc` extends the same idiom to
+// congestion-control selection (`ip route ... congctl <name>` on modern
+// kernels): kUnset defers to the host-wide TcpConfig.
 struct RouteMetrics {
   std::uint32_t initcwnd_segments = 0;
   std::uint32_t initrwnd_segments = 0;
+  tcp::RouteCc cc = tcp::RouteCc::kUnset;
 
   friend bool operator==(const RouteMetrics&, const RouteMetrics&) = default;
 };
@@ -66,6 +70,10 @@ class RoutingTable {
                                    std::uint32_t fallback) const;
   std::uint32_t effective_initrwnd(net::Ipv4Address dst,
                                    std::uint32_t fallback) const;
+
+  // Congestion-control regime programmed for a destination; kUnset when no
+  // covering route carries one (host default applies).
+  tcp::RouteCc effective_cc(net::Ipv4Address dst) const;
 
   const std::vector<RouteEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }

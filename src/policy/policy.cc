@@ -25,7 +25,8 @@ std::string to_string(const PolicySpec& spec) {
   std::string out;
   switch (spec.kind) {
     case PolicyKind::kDefault:
-      return "default";
+      out = "default";
+      break;
     case PolicyKind::kStaticIw:
       out = "static-iw" + std::to_string(spec.static_iw);
       break;
@@ -36,15 +37,19 @@ std::string to_string(const PolicySpec& spec) {
       out = "oracle";
       break;
   }
-  if (spec.prefix_length != 32) {
+  if (spec.kind != PolicyKind::kDefault && spec.prefix_length != 32) {
     out += "@" + std::to_string(spec.prefix_length);
+  }
+  if (spec.cc != tcp::RouteCc::kUnset) {
+    out += std::string(",cc=") + tcp::to_string(spec.cc);
   }
   return out;
 }
 
 bool operator==(const PolicySpec& a, const PolicySpec& b) {
   return a.kind == b.kind && a.static_iw == b.static_iw &&
-         a.prefix_length == b.prefix_length && a.governed == b.governed;
+         a.prefix_length == b.prefix_length && a.governed == b.governed &&
+         a.cc == b.cc;
 }
 
 namespace {
@@ -73,10 +78,25 @@ std::uint64_t parse_number(const std::string& text, std::uint64_t min,
 
 }  // namespace
 
-PolicySpec parse_policy(const std::string& text) {
+PolicySpec parse_policy(const std::string& full_text) {
   PolicySpec spec;
-  std::string base = text;
+  // Strip the optional ",cc=<name>" suffix first; the remainder is the
+  // historical grammar, untouched.
+  std::string text = full_text;
+  const auto comma = full_text.find(',');
+  if (comma != std::string::npos) {
+    const std::string suffix = full_text.substr(comma + 1);
+    if (suffix.rfind("cc=", 0) != 0) {
+      bad_policy("expected cc=<name> after ','", suffix, comma + 1);
+    }
+    const std::string name = suffix.substr(3);
+    if (!tcp::parse_route_cc(name, spec.cc)) {
+      bad_policy("unknown congestion control", name, comma + 4);
+    }
+    text = full_text.substr(0, comma);
+  }
   const auto at = text.find('@');
+  std::string base = text;
   if (at != std::string::npos) {
     base = text.substr(0, at);
     spec.prefix_length =
@@ -148,7 +168,8 @@ std::size_t install_static(cdn::Experiment& experiment,
     for (const auto& [group, members] :
          destination_groups(experiment.topology(), *host,
                             spec.prefix_length)) {
-      programmer.set_initial_windows(group, spec.static_iw, spec.static_iw);
+      programmer.set_initial_windows(group, spec.static_iw, spec.static_iw,
+                                     spec.cc);
       ++installed;
     }
   }
@@ -184,7 +205,7 @@ std::size_t install_oracle(cdn::Experiment& experiment,
           static_cast<double>(tconfig.wan_queue_packets) / 2.0;
       const auto window = static_cast<std::uint32_t>(
           std::clamp(std::lround(safe), 10l, 256l));
-      programmer.set_initial_windows(group, window, window);
+      programmer.set_initial_windows(group, window, window, spec.cc);
       ++installed;
     }
   }
@@ -197,6 +218,9 @@ void apply_policy(cdn::ExperimentConfig& config, const PolicySpec& spec) {
   switch (spec.kind) {
     case PolicyKind::kDefault:
       config.riptide_enabled = false;
+      // No routes to carry the regime: rewrite the host-wide TcpConfig so
+      // "default,cc=bbr" means "the whole fleet runs BBR-lite, no agent".
+      tcp::apply_route_cc(spec.cc, config.topology.host_tcp);
       break;
     case PolicyKind::kAdaptive:
       config.riptide_enabled = true;
@@ -207,6 +231,9 @@ void apply_policy(cdn::ExperimentConfig& config, const PolicySpec& spec) {
         config.riptide.prefix_length = spec.prefix_length;
       }
       if (spec.governed) arm_recommended_governor(config.riptide);
+      // The agent stamps the regime onto every route it learns; only
+      // destinations Riptide actually programs switch controller.
+      config.riptide.route_cc = spec.cc;
       break;
     case PolicyKind::kStaticIw:
     case PolicyKind::kOracle:

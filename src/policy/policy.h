@@ -4,6 +4,7 @@
 #include <string>
 
 #include "cdn/experiment.h"
+#include "tcp/config.h"
 
 namespace riptide::policy {
 
@@ -31,18 +32,25 @@ struct PolicySpec {
   // kAdaptive only: arm the recommended SafetyGovernor pack (budget with
   // shed-newest fairness, staged response, storm hysteresis).
   bool governed = false;
+  // Congestion-control regime, "cc=<name>" in the grammar. For route-
+  // installing kinds (static/oracle/adaptive) it is stamped onto every
+  // programmed route; for kDefault it rewrites the host-wide TcpConfig so
+  // a whole experiment can run under e.g. BBR-lite. kUnset = stock CUBIC.
+  tcp::RouteCc cc = tcp::RouteCc::kUnset;
 };
 
 // Field-wise equality, for spec round-trip checks and the chaos shrinker.
 bool operator==(const PolicySpec& a, const PolicySpec& b);
 
 // Canonical spec name, e.g. "static-iw50@24", "adaptive-governed",
-// "oracle@20", "default". Round-trips through parse_policy.
+// "oracle@20,cc=bbr", "default". Round-trips through parse_policy.
 std::string to_string(const PolicySpec& spec);
 
 // Parses "default" | "static-iwN[@L]" | "adaptive[-governed][@L]" |
-// "oracle[@L]" where N in [1, 1000] and L in [8, 32] (default 32).
-// Throws std::invalid_argument on anything else — fuzz surface.
+// "oracle[@L]", each optionally suffixed ",cc=<name>" with name in
+// {reno, cubic, cubic-fast, bbr}; N in [1, 1000] and L in [8, 32]
+// (default 32). Throws std::invalid_argument on anything else — fuzz
+// surface.
 PolicySpec parse_policy(const std::string& text);
 
 // What a policy installer did at build time; retrieve from

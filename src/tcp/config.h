@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/time.h"
 
@@ -8,7 +9,62 @@ namespace riptide::tcp {
 
 enum class CcAlgorithm {
   kNewReno,
-  kCubic,  // Linux default, and the paper's deployment (§III-B)
+  kCubic,    // Linux default, and the paper's deployment (§III-B)
+  kBbrLite,  // model-based: delivery rate + min-RTT probing, no loss
+             // reaction in steady state (ROADMAP item 2)
+};
+
+// Per-route congestion-control regime selector, the CC analog of the
+// initcwnd route metric: kUnset means "use the host default", everything
+// else rewrites the effective TcpConfig at connect time (apply_route_cc).
+// Lives here rather than in host/ because it names TCP regimes; the
+// routing table stores it, the policy grammar spells it (cc=reno etc.).
+enum class RouteCc : std::uint8_t {
+  kUnset = 0,
+  kReno,       // NewReno, plain
+  kCubic,      // Cubic, plain (the stock default made explicit)
+  kCubicFast,  // Cubic + HyStart slow-start exit + pacing
+  kBbrLite,    // BBR-style model + pacing
+};
+
+// Canonical grammar token ("reno", "cubic", "cubic-fast", "bbr"; "" for
+// kUnset) and its inverse. parse returns false on unknown tokens.
+const char* to_string(RouteCc cc);
+bool parse_route_cc(const std::string& token, RouteCc& out);
+
+// HyStart thresholds (delay-increase + ACK-train slow-start exit). Every
+// constant is construction-time tunable; the defaults reproduce the
+// pre-extraction Cubic behaviour exactly (delay variant only, eta =
+// prev_round_min/8 clamped to [4, 16] ms).
+struct HystartTuning {
+  // Delay-increase: exit when this round's min RTT exceeds the previous
+  // round's by eta = prev_min / eta_divisor, clamped to [min_eta, max_eta].
+  std::uint32_t eta_divisor = 8;
+  sim::Time min_eta = sim::Time::milliseconds(4);
+  sim::Time max_eta = sim::Time::milliseconds(16);
+  // ACK-train: exit when a train of closely spaced ACKs (inter-ACK gap at
+  // most train_spacing_max) stretches past half the minimum RTT — the
+  // window already covers the pipe. Off by default: the delay variant
+  // alone is the historical behaviour the golden fingerprint pins.
+  bool ack_train = false;
+  sim::Time train_spacing_max = sim::Time::milliseconds(2);
+};
+
+// BBR-lite model constants (bbr_lite.h). Gains are the published BBR v1
+// values; windows are generous for WAN RTTs.
+struct BbrTuning {
+  double startup_gain = 2.885;  // 2/ln2: doubles delivery rate per RTT
+  double drain_gain = 0.3465;   // 1/startup_gain: drains the startup queue
+  double cwnd_gain = 2.0;       // cwnd = cwnd_gain * estimated BDP
+  double probe_gain_up = 1.25;  // probe-bw cycle phase 0
+  double probe_gain_down = 0.75;  // phase 1 (drain what phase 0 queued)
+  std::uint32_t probe_cycle_len = 8;   // phases 2..7 cruise at gain 1.0
+  std::uint32_t bw_window_rounds = 10;     // max-filter depth, in rounds
+  std::uint32_t full_bw_rounds = 3;        // startup exit: plateau length
+  double full_bw_thresh = 1.25;            // startup exit: growth floor
+  sim::Time min_rtt_window = sim::Time::seconds(10);
+  sim::Time probe_rtt_duration = sim::Time::milliseconds(200);
+  std::uint32_t min_cwnd_segments = 4;  // floor, and the probe-RTT window
 };
 
 // Per-connection TCP tuning knobs. Defaults mirror a stock Linux host of the
@@ -39,11 +95,17 @@ struct TcpConfig {
   // baseline stack stays plain NewReno; the SACK ablation quantifies it.
   bool sack = false;
 
-  // HyStart (CUBIC only): leave slow start when per-round minimum RTTs
-  // show a delay increase, instead of waiting for loss. Off by default —
-  // the study's flows are short and IW-dominated — but available for
-  // long-flow scenarios.
+  // HyStart (Reno and CUBIC): leave slow start when per-round minimum
+  // RTTs show a delay increase (or, with hystart_tuning.ack_train, when
+  // an ACK train spans the pipe), instead of waiting for loss. Off by
+  // default — the study's flows are short and IW-dominated — but
+  // available for long-flow scenarios.
   bool hystart = false;
+  HystartTuning hystart_tuning;
+
+  // BBR-lite model constants; only consulted when congestion_control is
+  // CcAlgorithm::kBbrLite.
+  BbrTuning bbr;
 
   sim::Time initial_rto = sim::Time::seconds(1);
   sim::Time min_rto = sim::Time::milliseconds(200);
@@ -73,6 +135,10 @@ struct TcpConfig {
   // from the first data flight — the handshake seeds the estimator).
   bool pacing = false;
   double pacing_gain = 2.0;
+  // Token-bucket burst credit: segments may depart up to this many bytes
+  // ahead of the paced schedule (Linux fq's initial quantum). 0 keeps the
+  // strict earliest-departure-time spacing the pacing ablation measured.
+  std::uint64_t pacing_burst_bytes = 0;
 
   // Shortened TIME_WAIT so simulations recycle port state promptly.
   sim::Time time_wait_duration = sim::Time::seconds(2);
@@ -84,5 +150,13 @@ struct TcpConfig {
     return initial_rwnd_segments * mss;
   }
 };
+
+// Rewrites `config` for a route-selected CC regime: the algorithm itself
+// plus the companions that define the regime (kCubicFast arms HyStart and
+// pacing; kBbrLite arms pacing, since a rate model paced only by window
+// bursts defeats its purpose). kUnset leaves `config` untouched. Window
+// fields are never modified — initcwnd/initrwnd stay the routing table's
+// separate, composable decision.
+void apply_route_cc(RouteCc cc, TcpConfig& config);
 
 }  // namespace riptide::tcp

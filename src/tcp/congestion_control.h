@@ -17,6 +17,16 @@ struct AckEvent {
   std::optional<sim::Time> rtt;           // valid (non-retransmitted) sample
 };
 
+// A regime-internal transition the connection's trace layer wants to name
+// (tcp-cwnd cause tags): HyStart ended slow start, or BBR entered its
+// probe-RTT episode. Set by on_ack, consumed (and cleared) by
+// take_signal; at most one per ACK, the freshest wins.
+enum class CcSignal : std::uint8_t {
+  kNone,
+  kHystartExit,
+  kBbrProbeRtt,
+};
+
 // Congestion-controller interface. The controller owns cwnd and ssthresh in
 // bytes; the connection owns loss *detection* (dupACK counting, RTO) and
 // notifies the controller of recovery transitions. Fast-recovery window
@@ -47,6 +57,19 @@ class CongestionControl {
   virtual std::uint64_t ssthresh_bytes() const = 0;
   virtual bool in_slow_start() const { return cwnd_bytes() < ssthresh_bytes(); }
   virtual const char* name() const = 0;
+
+  // Drains the regime transition recorded by the last on_ack, if any. The
+  // connection polls this only when a trace sink is installed, so
+  // controllers must overwrite (not accumulate) the pending signal each
+  // on_ack — an undrained stale signal must never survive into the next
+  // ACK's report.
+  virtual CcSignal take_signal() { return CcSignal::kNone; }
+
+  // The controller's own pacing-rate opinion in bytes/sec; 0 means "no
+  // opinion" and the connection falls back to the window-derived rate
+  // pacing_gain * cwnd / srtt. BBR-lite supplies gain * estimated
+  // bottleneck bandwidth here, which is the whole point of a rate model.
+  virtual double pacing_rate_bytes_per_sec() const { return 0.0; }
 };
 
 // Creates the controller selected by `config.congestion_control`.

@@ -321,10 +321,14 @@ void TcpConnection::maybe_restart_after_idle() {
 
 bool TcpConnection::pacing_blocked() {
   if (!config_.pacing || !rtt_.has_sample()) return false;
-  if (sim_.now() >= pace_next_) return false;
+  if (!pacer_.blocked(sim_.now())) return false;
   if (!pacing_timer_.valid()) {
-    pacing_timer_ = sim_.schedule_at(pace_next_, [this] {
+    pacing_timer_ = sim_.schedule_at(pacer_.release_at(), [this] {
       pacing_timer_ = sim::EventHandle{};
+      // The release tag makes pacing stalls visible in a cwnd timeline:
+      // sends resumed here because the pacer said so, not because an ACK
+      // opened the window.
+      trace_cwnd(trace::CwndCause::kPaced);
       try_send();
     });
   }
@@ -333,13 +337,17 @@ bool TcpConnection::pacing_blocked() {
 
 void TcpConnection::note_paced_send(std::uint32_t bytes) {
   if (!config_.pacing || !rtt_.has_sample()) return;
-  // rate = gain * cwnd / srtt  =>  per-segment spacing = bytes / rate.
-  const double rate_bytes_per_sec =
-      config_.pacing_gain * static_cast<double>(cc_->cwnd_bytes()) /
-      std::max(rtt_.srtt().to_seconds(), 1e-6);
-  const auto spacing = sim::Time::from_seconds(
-      static_cast<double>(bytes) / std::max(rate_bytes_per_sec, 1.0));
-  pace_next_ = std::max(pace_next_, sim_.now()) + spacing;
+  // A rate-model controller (BBR-lite) supplies its own pacing rate;
+  // window-based controllers fall back to gain * cwnd / srtt, i.e. the
+  // window spread over 1/gain of an RTT.
+  double rate_bytes_per_sec = cc_->pacing_rate_bytes_per_sec();
+  if (rate_bytes_per_sec <= 0.0) {
+    rate_bytes_per_sec =
+        config_.pacing_gain * static_cast<double>(cc_->cwnd_bytes()) /
+        std::max(rtt_.srtt().to_seconds(), 1e-6);
+  }
+  pacer_.on_send(sim_.now(), bytes, rate_bytes_per_sec,
+                 config_.pacing_burst_bytes);
 }
 
 void TcpConnection::try_send() {
@@ -672,9 +680,24 @@ void TcpConnection::process_ack(const Segment& seg) {
     const std::uint64_t cwnd_before = traced ? cc_->cwnd_bytes() : 0;
     const bool slow_start = traced && cc_->in_slow_start();
     cc_->on_ack(AckEvent{sim_.now(), acked, in_flight_before, sample});
-    if (traced && cc_->cwnd_bytes() != cwnd_before) {
-      trace_cwnd(slow_start ? trace::CwndCause::kSlowStart
-                            : trace::CwndCause::kCongestionAvoidance);
+    if (traced) {
+      // A regime-internal transition (HyStart exit, BBR probe-RTT entry)
+      // outranks the generic growth tag — and must be reported even when
+      // cwnd itself did not move (HyStart only writes ssthresh).
+      switch (cc_->take_signal()) {
+        case CcSignal::kHystartExit:
+          trace_cwnd(trace::CwndCause::kHystartExit);
+          break;
+        case CcSignal::kBbrProbeRtt:
+          trace_cwnd(trace::CwndCause::kBbrProbeRtt);
+          break;
+        case CcSignal::kNone:
+          if (cc_->cwnd_bytes() != cwnd_before) {
+            trace_cwnd(slow_start ? trace::CwndCause::kSlowStart
+                                  : trace::CwndCause::kCongestionAvoidance);
+          }
+          break;
+      }
     }
   }
 

@@ -11,6 +11,7 @@
 #include "sim/time.h"
 #include "tcp/config.h"
 #include "tcp/congestion_control.h"
+#include "tcp/pacing.h"
 #include "tcp/receive_tracker.h"
 #include "tcp/rtt_estimator.h"
 #include "tcp/segment.h"
@@ -54,7 +55,8 @@ struct ConnectionStats {
 //
 // Loss recovery simplifications vs Linux (documented in DESIGN.md): SACK is
 // opt-in via TcpConfig::sack (NewReno partial-ACK retransmission otherwise),
-// go-back-N after an RTO, no HyStart.
+// go-back-N after an RTO. HyStart and pacing are opt-in via TcpConfig
+// (tcp/hystart.h, tcp/pacing.h).
 class TcpConnection {
  public:
   // Outbound segment dispatch. A bare function pointer plus context word
@@ -250,7 +252,7 @@ class TcpConnection {
   sim::EventHandle delack_timer_;
   sim::EventHandle time_wait_timer_;
   sim::EventHandle pacing_timer_;
-  sim::Time pace_next_;  // earliest departure time of the next segment
+  TokenBucketPacer pacer_;  // earliest-departure-time schedule (tcp/pacing.h)
 
   sim::Time established_at_;
   sim::Time last_activity_;  // last time we sent data (for idle restart)

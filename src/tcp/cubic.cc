@@ -5,31 +5,12 @@
 
 namespace riptide::tcp {
 
-Cubic::Cubic(std::uint32_t mss, std::uint64_t initial_cwnd_bytes, bool hystart)
+Cubic::Cubic(std::uint32_t mss, std::uint64_t initial_cwnd_bytes, bool hystart,
+             HystartTuning hystart_tuning)
     : mss_(mss),
       initial_cwnd_(initial_cwnd_bytes),
-      cwnd_(initial_cwnd_bytes),
-      hystart_(hystart) {}
-
-void Cubic::hystart_on_ack(const AckEvent& ev) {
-  if (!ev.rtt) return;
-  if (!round_start_ || ev.now - *round_start_ > last_rtt_) {
-    // Round boundary: rotate the per-round minimum.
-    prev_round_min_rtt_ = round_min_rtt_;
-    round_min_rtt_.reset();
-    round_start_ = ev.now;
-  }
-  if (!round_min_rtt_ || *ev.rtt < *round_min_rtt_) round_min_rtt_ = *ev.rtt;
-
-  if (prev_round_min_rtt_ && round_min_rtt_) {
-    // Delay-increase detection: eta = prev_min / 8, clamped to [4, 16] ms.
-    const auto eta = std::clamp(*prev_round_min_rtt_ / 8,
-                                sim::Time::milliseconds(4),
-                                sim::Time::milliseconds(16));
-    if (*round_min_rtt_ >= *prev_round_min_rtt_ + eta) {
-      ssthresh_ = cwnd_;  // leave slow start; cubic takes over from here
-    }
-  }
+      cwnd_(initial_cwnd_bytes) {
+  if (hystart) hystart_.emplace(hystart_tuning);
 }
 
 double Cubic::w_cubic_segments(double t_seconds) const {
@@ -38,12 +19,16 @@ double Cubic::w_cubic_segments(double t_seconds) const {
 }
 
 void Cubic::on_ack(const AckEvent& ev) {
+  signal_ = CcSignal::kNone;
   if (in_recovery_) return;
   if (ev.rtt) last_rtt_ = *ev.rtt;
 
   if (cwnd_ < ssthresh_) {
     // Standard slow start with byte counting (L=2), as in Linux CUBIC.
-    if (hystart_) hystart_on_ack(ev);
+    if (hystart_ && hystart_->on_ack(ev, last_rtt_)) {
+      ssthresh_ = cwnd_;  // leave slow start; cubic takes over from here
+      signal_ = CcSignal::kHystartExit;
+    }
     cwnd_ += std::min<std::uint64_t>(ev.bytes_acked, 2ull * mss_);
     return;
   }

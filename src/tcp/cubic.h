@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "tcp/congestion_control.h"
+#include "tcp/hystart.h"
 
 namespace riptide::tcp {
 
@@ -14,15 +15,14 @@ namespace riptide::tcp {
 //   W_cubic(t) = C * (t - K)^3 + W_max
 // with fast convergence and the TCP-friendly (Reno-tracking) region.
 //
-// Optional HyStart (delay-increase variant): during slow start, if the
-// current round's minimum RTT exceeds the previous round's minimum by a
-// clamped fraction, ssthresh is set to the current window, ending slow
-// start before the queue overflows. Rounds are delimited by the smoothed
-// RTT. Disabled by default (the study's flows are short and IW-dominated).
+// Optional HyStart (tcp/hystart.h, delay-increase by default, ACK-train
+// via tuning): when the detector fires during slow start, ssthresh is set
+// to the current window, ending slow start before the queue overflows.
+// Disabled by default (the study's flows are short and IW-dominated).
 class Cubic : public CongestionControl {
  public:
   Cubic(std::uint32_t mss, std::uint64_t initial_cwnd_bytes,
-        bool hystart = false);
+        bool hystart = false, HystartTuning hystart_tuning = {});
 
   void on_ack(const AckEvent& ev) override;
   void on_enter_recovery(sim::Time now, std::uint64_t bytes_in_flight) override;
@@ -33,13 +33,17 @@ class Cubic : public CongestionControl {
   std::uint64_t cwnd_bytes() const override { return cwnd_; }
   std::uint64_t ssthresh_bytes() const override { return ssthresh_; }
   const char* name() const override { return "cubic"; }
+  CcSignal take_signal() override {
+    const CcSignal s = signal_;
+    signal_ = CcSignal::kNone;
+    return s;
+  }
 
-  bool hystart_enabled() const { return hystart_; }
+  bool hystart_enabled() const { return hystart_.has_value(); }
 
  private:
   void multiplicative_decrease(std::uint64_t bytes_in_flight);
   double w_cubic_segments(double t_seconds) const;
-  void hystart_on_ack(const AckEvent& ev);
 
   static constexpr double kC = 0.4;     // cubic scaling constant
   static constexpr double kBeta = 0.7;  // multiplicative decrease factor
@@ -56,11 +60,8 @@ class Cubic : public CongestionControl {
   sim::Time last_rtt_ = sim::Time::milliseconds(100);  // fallback until sampled
   bool in_recovery_ = false;
 
-  // HyStart round tracking.
-  bool hystart_ = false;
-  std::optional<sim::Time> round_start_;
-  std::optional<sim::Time> round_min_rtt_;
-  std::optional<sim::Time> prev_round_min_rtt_;
+  std::optional<Hystart> hystart_;
+  CcSignal signal_ = CcSignal::kNone;
 };
 
 }  // namespace riptide::tcp

@@ -4,12 +4,21 @@
 
 namespace riptide::tcp {
 
-NewReno::NewReno(std::uint32_t mss, std::uint64_t initial_cwnd_bytes)
-    : mss_(mss), initial_cwnd_(initial_cwnd_bytes), cwnd_(initial_cwnd_bytes) {}
+NewReno::NewReno(std::uint32_t mss, std::uint64_t initial_cwnd_bytes,
+                 bool hystart, HystartTuning hystart_tuning)
+    : mss_(mss), initial_cwnd_(initial_cwnd_bytes), cwnd_(initial_cwnd_bytes) {
+  if (hystart) hystart_.emplace(hystart_tuning);
+}
 
 void NewReno::on_ack(const AckEvent& ev) {
+  signal_ = CcSignal::kNone;
   if (in_recovery_) return;  // window frozen until recovery exits
+  if (ev.rtt) last_rtt_ = *ev.rtt;
   if (cwnd_ < ssthresh_) {
+    if (hystart_ && hystart_->on_ack(ev, last_rtt_)) {
+      ssthresh_ = cwnd_;  // congestion avoidance takes over from here
+      signal_ = CcSignal::kHystartExit;
+    }
     // Slow start with ABC (L=2): grow by bytes acked, at most 2 MSS per ACK.
     cwnd_ += std::min<std::uint64_t>(ev.bytes_acked, 2ull * mss_);
   } else {

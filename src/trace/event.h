@@ -56,6 +56,9 @@ enum class CwndCause : std::uint8_t {
   kRecoveryExit,          // full ACK ended NewReno recovery
   kRto,                   // retransmission timeout collapsed the window
   kIdleRestart,           // RFC 2861 slow-start-after-idle reset
+  kHystartExit,           // HyStart ended slow start (ssthresh = cwnd)
+  kBbrProbeRtt,           // BBR-lite entered its probe-RTT episode
+  kPaced,                 // pacer released deferred sends (timer fired)
 };
 const char* to_string(CwndCause cause);
 

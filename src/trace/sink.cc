@@ -33,6 +33,9 @@ const char* to_string(CwndCause cause) {
     case CwndCause::kRecoveryExit: return "recovery-exit";
     case CwndCause::kRto: return "rto";
     case CwndCause::kIdleRestart: return "idle-restart";
+    case CwndCause::kHystartExit: return "hystart-exit";
+    case CwndCause::kBbrProbeRtt: return "bbr-probe-rtt";
+    case CwndCause::kPaced: return "paced";
   }
   return "?";
 }

@@ -120,7 +120,8 @@ TEST(ObservedTableTest, UpdateCountsTracked) {
 class RecordingProgrammer : public RouteProgrammer {
  public:
   void set_initial_windows(const net::Prefix& dst, std::uint32_t initcwnd,
-                           std::uint32_t initrwnd) override {
+                           std::uint32_t initrwnd,
+                           tcp::RouteCc = tcp::RouteCc::kUnset) override {
     programmed[dst] = {initcwnd, initrwnd};
   }
   void clear(const net::Prefix& dst) override {

@@ -181,7 +181,8 @@ class BoundsCheckingProgrammer : public core::RouteProgrammer {
   BoundsCheckingProgrammer(std::uint32_t c_min, std::uint32_t c_max)
       : c_min_(c_min), c_max_(c_max) {}
   void set_initial_windows(const net::Prefix&, std::uint32_t initcwnd,
-                           std::uint32_t initrwnd) override {
+                           std::uint32_t initrwnd,
+                           tcp::RouteCc = tcp::RouteCc::kUnset) override {
     EXPECT_GE(initcwnd, c_min_);
     EXPECT_LE(initcwnd, c_max_);
     EXPECT_GE(initrwnd, c_max_);  // §III-C: initrwnd covers c_max

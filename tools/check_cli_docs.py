@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Keep docs/CLI.md in sync with riptide_sim's --help text.
+
+The authoritative flag reference is the kHelpText raw-string literal in
+tools/riptide_sim.cc; docs/CLI.md embeds a copy in its ```text fence.
+This script extracts the literal straight from the source (no build
+required — that is what lets the docs-lint CI job run it on a bare
+checkout) and diffs it against the fence.
+
+Usage:
+  tools/check_cli_docs.py             # exit 1 + diff when out of sync
+  tools/check_cli_docs.py --update    # rewrite docs/CLI.md from source
+  tools/check_cli_docs.py --binary build/tools/riptide_sim
+                                      # additionally cross-check that the
+                                      # built binary prints the same text
+"""
+
+import argparse
+import difflib
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "tools" / "riptide_sim.cc"
+DOC = REPO / "docs" / "CLI.md"
+
+HEADER = """\
+# riptide_sim CLI reference
+
+Generated from the `kHelpText` literal in `tools/riptide_sim.cc` (what
+`riptide_sim --help` prints). Do not edit the fenced block by hand:
+regenerate with `tools/check_cli_docs.py --update`. The docs-lint CI job
+runs `tools/check_cli_docs.py` and fails on any drift.
+
+```text
+"""
+
+FOOTER = "```\n"
+
+
+def help_text_from_source() -> str:
+    source = SOURCE.read_text()
+    match = re.search(r'R"HELP\((.*)\)HELP"', source, re.DOTALL)
+    if match is None:
+        sys.exit(f"error: no R\"HELP(...)HELP\" literal in {SOURCE}")
+    # The literal starts with the newline right after R"HELP(.
+    return match.group(1).lstrip("\n")
+
+
+def help_text_from_doc() -> str:
+    doc = DOC.read_text()
+    match = re.search(r"```text\n(.*?)```", doc, re.DOTALL)
+    if match is None:
+        sys.exit(f"error: no ```text fence in {DOC}")
+    return match.group(1)
+
+
+def fail_with_diff(name_a: str, a: str, name_b: str, b: str) -> None:
+    diff = difflib.unified_diff(
+        a.splitlines(keepends=True), b.splitlines(keepends=True),
+        fromfile=name_a, tofile=name_b)
+    sys.stdout.writelines(diff)
+    sys.exit(f"error: {name_b} is out of sync with {name_a}; "
+             "run tools/check_cli_docs.py --update")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite docs/CLI.md from the source literal")
+    parser.add_argument("--binary",
+                        help="path to a built riptide_sim; also verify its "
+                             "--help output matches the source literal")
+    args = parser.parse_args()
+
+    from_source = help_text_from_source()
+
+    if args.update:
+        DOC.write_text(HEADER + from_source + FOOTER)
+        print(f"wrote {DOC}")
+        return
+
+    if args.binary:
+        printed = subprocess.run(
+            [args.binary, "--help"], check=True, capture_output=True,
+            text=True).stdout
+        if printed != from_source:
+            fail_with_diff("kHelpText (source)", from_source,
+                           f"{args.binary} --help", printed)
+
+    from_doc = help_text_from_doc()
+    if from_doc != from_source:
+        fail_with_diff("kHelpText (source)", from_source, str(DOC), from_doc)
+    print("docs/CLI.md matches riptide_sim --help")
+
+
+if __name__ == "__main__":
+    main()

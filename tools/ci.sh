@@ -78,6 +78,15 @@ echo "==== chaos-search suite (ASan/UBSan) ===="
 ctest --test-dir build-ci-asan -L chaos-search --output-on-failure \
   --timeout 300 -j "$JOBS"
 
+# The cc label (pacer release arithmetic, HyStart round tracking, the
+# BBR-lite delivery-rate filter, per-route CC programming, and the paced
+# determinism pins) re-runs under the sanitizers: the controllers keep
+# per-connection state machines whose stale-pointer/uninitialized-read
+# failure modes are silent in Release.
+echo "==== cc suite (ASan/UBSan) ===="
+ctest --test-dir build-ci-asan -L cc --output-on-failure \
+  --timeout 300 -j "$JOBS"
+
 # Chaos campaign smoke (Release): a short seeded campaign end to end
 # through the CLI. A healthy tree must come back with zero findings; any
 # finding writes its minimized .min.spec next to the build for triage.
@@ -121,10 +130,24 @@ echo "==== policy zoo x hostile scenario bench (quick) ===="
 python3 tools/bench_diff.py BENCH_policy.json \
   build-ci-release/BENCH_policy.ci.json || true
 
+# CC matrix bench (informational): quick mode keeps CI short. The headline
+# — jump-start gain per congestion-control regime — is what reviewers
+# read; quick-mode numbers are not comparable with the checked-in
+# full-length BENCH_cc.json, so the diff is advisory.
+echo "==== cc regime matrix bench (quick) ===="
+./build-ci-release/bench/bench_cc_matrix --quick --json \
+  > build-ci-release/BENCH_cc.ci.json
+python3 tools/bench_diff.py BENCH_cc.json \
+  build-ci-release/BENCH_cc.ci.json || true
+
 # Docs lint: every relative markdown link must resolve (offline check; no
-# network fetches in CI).
+# network fetches in CI), and docs/CLI.md must match riptide_sim --help
+# exactly (drift fails the build; regenerate with --update). The --binary
+# cross-check also pins the kHelpText extraction against what the built
+# binary actually prints.
 echo "==== docs lint ===="
 python3 tools/check_md_links.py
+python3 tools/check_cli_docs.py --binary build-ci-release/tools/riptide_sim
 
 # Trace smoke: one traced run through the CLI, then schema/order
 # validation of the emitted JSONL.

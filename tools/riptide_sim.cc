@@ -11,13 +11,16 @@
 //               [--interval SECONDS] [--ttl SECONDS]
 //               [--combiner avg|max|weighted] [--prefix-granularity]
 //               [--probe-interval SECONDS] [--wan-loss P] [--organic POP]
-//               [--pacing] [--threads N] [--sweep-seeds A,B,C]
+//               [--pacing] [--cc NAME] [--threads N] [--sweep-seeds A,B,C]
 //               [--trace PATH.jsonl] [--trace-ring N]
 //               [--shards N] [--flow-traffic FLOWS_PER_SEC]
 //               [--policy NAME] [--hostile SPEC] [--faults SPEC]
 //               [--validate-only]
 //               [--chaos N] [--chaos-seed S] [--chaos-out DIR]
-//               [--repro FILE]
+//               [--repro FILE] [--help]
+//
+// --help prints the full flag reference (kHelpText below); docs/CLI.md is
+// generated from it and tools/check_cli_docs.py keeps the two in sync.
 //
 // With --sweep-seeds, the same scenario is run once per seed — fanned
 // across --threads workers (default: one per hardware thread) — and a
@@ -97,6 +100,76 @@ struct Options {
   cdn::ExperimentConfig config;
 };
 
+// The complete flag reference, printed by --help. Kept in one raw string
+// so tools/check_cli_docs.py can extract it straight from this source file
+// and diff it against docs/CLI.md — edit a flag here and the docs-lint CI
+// job fails until the doc is regenerated.
+constexpr const char* kHelpText = R"HELP(riptide_sim — simulated-CDN front end for the Riptide reproduction
+
+usage: riptide_sim [flags]
+
+World:
+  --pops N             PoPs from the global list (default 8, max 34)
+  --hosts N            hosts per PoP (default 1)
+  --duration S         simulated seconds (default 120)
+  --seed S             root RNG seed (default 1)
+  --wan-loss P         WAN random-loss probability (default 0)
+  --organic POP_INDEX  PoP also generating organic back-office traffic
+                       (repeatable)
+
+Riptide agent:
+  --riptide 0|1        enable/disable the agent (default 1)
+  --cmax N             window clamp upper bound, segments
+  --cmin N             window clamp lower bound, segments
+  --alpha F            EWMA history weight in [0,1]
+  --interval S         poll interval i_u, seconds
+  --ttl S              route entry time-to-live, seconds
+  --combiner KIND      avg | max | weighted
+  --prefix-granularity aggregate destinations to /16 routes
+
+TCP:
+  --pacing             enable the token-bucket pacer on every host
+  --cc NAME            host-wide congestion control: reno | cubic |
+                       cubic-fast (CUBIC + HyStart + pacing) | bbr
+                       (BBR-lite + pacing); default is stock cubic
+  --probe-interval S   probe client launch interval, seconds
+
+Scenarios:
+  --policy NAME        initcwnd policy: default | static-iwN[@L] |
+                       adaptive[-governed][@L] | oracle[@L], each with an
+                       optional ,cc=NAME suffix (L = route prefix length,
+                       default 32; overrides --riptide)
+  --hostile SPEC       adversarial scenario: shallow-buffer | incast |
+                       flash-crowd | combined, with optional :key=val,...
+                       tuning (see src/cdn/hostile.h)
+  --faults SPEC        declarative fault plan (src/faults), e.g.
+                       "@5 down 0-1; @10 up 0-1"
+  --validate-only      parse --faults/--hostile/--policy, report offending
+                       token + byte offset, exit 0/1 without running
+
+Execution:
+  --threads N          sweep worker threads (default: hardware threads)
+  --sweep-seeds A,B,C  run the scenario once per seed and merge percentiles
+  --shards N           sharded (PDES) engine on N workers; one cell per
+                       PoP, N <= PoP count; metrics identical for every N
+  --flow-traffic F     fluid cross-traffic, F flows/sec per WAN link
+
+Tracing:
+  --trace PATH.jsonl   decision-audit JSONL export ({label}/{index} expand
+                       per run); render with tools/trace_report.py
+  --trace-ring N       trace ring capacity, events
+
+Chaos search:
+  --chaos N            N-spec campaign against the invariant oracles;
+                       minimized repros land in --chaos-out
+  --chaos-seed S       campaign seed (default 1)
+  --chaos-out DIR      repro output directory (default ".")
+  --repro FILE         replay one chaos spec, exit 1 when oracles fire
+
+Misc:
+  --help               print this reference and exit 0
+)HELP";
+
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--pops N] [--hosts N] [--duration S] [--seed S]\n"
@@ -104,12 +177,13 @@ struct Options {
                "  [--interval S] [--ttl S] [--combiner avg|max|weighted]\n"
                "  [--prefix-granularity] [--probe-interval S]\n"
                "  [--wan-loss P] [--organic POP_INDEX] [--pacing]\n"
+               "  [--cc reno|cubic|cubic-fast|bbr]\n"
                "  [--threads N] [--sweep-seeds A,B,C]\n"
                "  [--trace PATH.jsonl] [--trace-ring N]\n"
                "  [--shards N] [--flow-traffic FLOWS_PER_SEC]\n"
                "  [--policy NAME] [--hostile SPEC] [--faults SPEC]\n"
                "  [--validate-only] [--chaos N] [--chaos-seed S]\n"
-               "  [--chaos-out DIR] [--repro FILE]\n"
+               "  [--chaos-out DIR] [--repro FILE] [--help]\n"
                "\n"
                "  --policy NAME     initcwnd policy: default | static-iwN[@L]\n"
                "                    | adaptive[-governed][@L] | oracle[@L]\n"
@@ -149,7 +223,10 @@ Options parse(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--pops") {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(kHelpText, stdout);
+      std::exit(0);
+    } else if (arg == "--pops") {
       opt.pops = static_cast<std::size_t>(std::atoi(need_value(i)));
     } else if (arg == "--hosts") {
       opt.hosts = std::atoi(need_value(i));
@@ -197,6 +274,10 @@ Options parse(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(need_value(i))));
     } else if (arg == "--pacing") {
       opt.config.topology.host_tcp.pacing = true;
+    } else if (arg == "--cc") {
+      tcp::RouteCc cc = tcp::RouteCc::kUnset;
+      if (!tcp::parse_route_cc(need_value(i), cc)) usage(argv[0]);
+      tcp::apply_route_cc(cc, opt.config.topology.host_tcp);
     } else if (arg == "--trace") {
       opt.config.trace.enabled = true;
       opt.config.trace.export_path = need_value(i);

@@ -32,6 +32,7 @@ import sys
 REQUIRED_KEYS = {
     "tcp-state": {"conn", "from", "to"},
     "tcp-cwnd": {"conn", "cause", "cwnd", "ssthresh", "mss"},
+    # (tcp-cwnd "cause" must additionally be one of TCP_CWND_CAUSES.)
     "tcp-rto": {"conn", "rto_ns", "retries"},
     "agent-decision": {
         "host", "route", "samples", "combined", "folded", "final",
@@ -47,6 +48,15 @@ REQUIRED_KEYS = {
                        "routes"},
     "fault": {"label", "restored", "value", "duration_ns"},
     "link": {"name", "up"},
+}
+
+# Closed vocabulary for tcp-cwnd "cause" (src/trace/sink.cc to_string):
+# the classic loss-based transitions plus the CC-zoo regimes — HyStart's
+# slow-start exit, BBR-lite's probe-RTT dip, and pacer-deferred sends.
+TCP_CWND_CAUSES = {
+    "initcwnd-seeded", "slowstart", "ca", "fast-retransmit",
+    "recovery-exit", "rto", "idle-restart",
+    "hystart-exit", "bbr-probe-rtt", "paced",
 }
 
 
@@ -98,6 +108,11 @@ def check(meta, events):
         if missing:
             errors.append(
                 f"line {lineno}: {kind} missing {sorted(missing)}")
+        if (kind == "tcp-cwnd"
+                and ev.get("cause") not in TCP_CWND_CAUSES):
+            errors.append(
+                f"line {lineno}: tcp-cwnd unknown cause "
+                f"{ev.get('cause')!r}")
         key = (ev.get("at", 0), ev.get("seq", 0))
         if prev is not None and key <= prev:
             errors.append(
